@@ -1,0 +1,146 @@
+"""Shared runner for the Figs. 13-14 method comparison.
+
+Protocol (Section VII, Exp-3): Influ and Influ+ capture only one
+numerical attribute, so each query samples weight vectors inside R,
+scores every vertex by the weighted sum of its d attributes, and runs
+the 1-d influential search per sample; the average time is reported.
+Sky/Sky+ are weight-free; their cost explodes with d (reported as
+"Inf" once the operation budget is exhausted — matching the paper's
+"Inf" markers for d >= 3 / d >= 5).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.baselines.influential import ICPIndex, influ_nc
+from repro.baselines.skyline import SkylineBudgetExceeded, skyline_communities
+from repro.geometry.halfspace import score
+
+from _harness import (
+    DEFAULT_D,
+    DEFAULT_J,
+    DEFAULT_K,
+    DEFAULT_Q,
+    DEFAULT_SIGMA,
+    K_VALUES,
+    default_t_for,
+    emit,
+    load,
+    make_region,
+    queries_for,
+    timed_search,
+)
+
+NUM_WEIGHT_SAMPLES = 5  # paper: 100
+SKY_BUDGET = 20_000
+
+METHODS = ("Influ", "Influ+", "Sky", "Sky+", "GS-NC", "LS-NC")
+
+
+def _filtered_graph(ds, q, t):
+    kept = ds.network.query_distance_filter(q, t)
+    return ds.network.social.graph.subgraph(kept)
+
+
+def _weighted_scores(ds, graph, w_reduced):
+    attrs = ds.network.social.attributes
+    return {v: score(attrs[v], w_reduced) for v in graph.vertices()}
+
+
+def _run_influ(ds, graph, q, k, region, index=None):
+    rng = np.random.default_rng(0)
+    samples = region.sample(rng, NUM_WEIGHT_SAMPLES)
+    start = time.perf_counter()
+    for w in samples:
+        weights = _weighted_scores(ds, graph, w)
+        if index is not None:
+            idx = index(weights)
+            idx.query(k, query=q)
+        else:
+            influ_nc(graph, weights, k, q)
+    return (time.perf_counter() - start) / NUM_WEIGHT_SAMPLES
+
+
+def _run_influ_plus(ds, graph, q, k, region):
+    """ICP-index: construction is offline; only lookups are timed."""
+    rng = np.random.default_rng(0)
+    samples = region.sample(rng, NUM_WEIGHT_SAMPLES)
+    indexes = [
+        ICPIndex(graph, _weighted_scores(ds, graph, w), [k])
+        for w in samples
+    ]
+    start = time.perf_counter()
+    for idx in indexes:
+        idx.query(k, query=q)
+    return (time.perf_counter() - start) / NUM_WEIGHT_SAMPLES
+
+
+def _run_sky(ds, graph, k, d, prune):
+    attrs = ds.network.social.attributes
+    sub_attrs = {v: attrs[v] for v in graph.vertices()}
+    start = time.perf_counter()
+    try:
+        skyline_communities(
+            graph, sub_attrs, k, dims=d, prune=prune, budget=SKY_BUDGET
+        )
+    except SkylineBudgetExceeded:
+        return math.inf
+    return time.perf_counter() - start
+
+
+def comparison_rows(dataset_name: str, vary: str):
+    ds = load(dataset_name)
+    t = default_t_for(ds)
+    rows = []
+    if vary == "k":
+        grid = K_VALUES
+    else:
+        grid = (2, 3, 4, 5)
+    for value in grid:
+        k = value if vary == "k" else DEFAULT_K
+        d = DEFAULT_D if vary == "k" else value
+        ds_d = ds if d == DEFAULT_D else load(dataset_name, dimensions=d)
+        region = make_region(d, DEFAULT_SIGMA)
+        queries = queries_for(ds_d, DEFAULT_Q, k, t)
+        sums = {m: 0.0 for m in METHODS}
+        counts = {m: 0 for m in METHODS}
+        for q in queries:
+            graph = _filtered_graph(ds_d, q, t)
+            timings = {
+                "Influ": _run_influ(ds_d, graph, q, k, region),
+                "Influ+": _run_influ_plus(ds_d, graph, q, k, region),
+                "Sky": _run_sky(ds_d, graph, k, d, prune=False),
+                "Sky+": _run_sky(ds_d, graph, k, d, prune=True),
+                "GS-NC": timed_search(
+                    ds_d, q, k, t, region, DEFAULT_J, "GS-NC"
+                )[0],
+                "LS-NC": timed_search(
+                    ds_d, q, k, t, region, DEFAULT_J, "LS-NC"
+                )[0],
+            }
+            for m, v in timings.items():
+                if not math.isnan(v):
+                    sums[m] += v
+                    counts[m] += 1
+        row = [value]
+        for m in METHODS:
+            avg = sums[m] / counts[m] if counts[m] else math.nan
+            row.append("Inf" if math.isinf(avg) else avg)
+        rows.append(row)
+    return rows
+
+
+def run_comparison(figure: str, dataset_name: str, benchmark):
+    def run():
+        rows_k = comparison_rows(dataset_name, "k")
+        emit(f"{figure}b", f"{dataset_name}: method time(s) vs k",
+             ["k", *METHODS], rows_k)
+        rows_d = comparison_rows(dataset_name, "d")
+        emit(f"{figure}c", f"{dataset_name}: method time(s) vs d",
+             ["d", *METHODS], rows_d)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,156 @@
+"""Ablations of this reproduction's design choices (see DESIGN.md §4).
+
+(a) GS refinement: the paper's full leaf-pair arrangement vs the
+    lower-envelope variant (same non-contained MACs, fewer partitions);
+(b) the Lemma-1 range filter: per-query bounded Dijkstra vs the G-tree
+    index (identical output, different cost);
+(c) LS knobs: Eq. 3 vs Eq. 4 expansion and fast vs chain certification.
+"""
+
+import time
+
+from repro import mac_search
+
+from _harness import (
+    DEFAULT_D,
+    DEFAULT_K,
+    DEFAULT_Q,
+    SIGMA_VALUES,
+    default_t_for,
+    emit,
+    load,
+    make_region,
+    queries_for,
+)
+
+
+def test_ablation_refinement(benchmark):
+    """Arrangement (paper) vs lower envelope: time and #partitions."""
+
+    def run():
+        ds = load("sf+slashdot")
+        t = default_t_for(ds)
+        rows = []
+        for sigma in SIGMA_VALUES:
+            region = make_region(DEFAULT_D, sigma)
+            agg = {"arrangement": [0.0, 0], "envelope": [0.0, 0]}
+            ncs = {}
+            for q in queries_for(ds, DEFAULT_Q, DEFAULT_K, t):
+                for mode in ("arrangement", "envelope"):
+                    start = time.perf_counter()
+                    res = mac_search(
+                        ds.network, q, DEFAULT_K, t, region,
+                        algorithm="global", problem="nc",
+                        refinement=mode, time_budget=90.0,
+                    )
+                    agg[mode][0] += time.perf_counter() - start
+                    agg[mode][1] += len(res.partitions)
+                    ncs.setdefault(mode, set()).update(res.nc_communities())
+            n = max(1, len(queries_for(ds, DEFAULT_Q, DEFAULT_K, t)))
+            same = ncs.get("arrangement") == ncs.get("envelope")
+            rows.append(
+                [
+                    f"{sigma:.1%}",
+                    agg["arrangement"][0] / n,
+                    agg["arrangement"][1] / n,
+                    agg["envelope"][0] / n,
+                    agg["envelope"][1] / n,
+                    "yes" if same else "NO",
+                ]
+            )
+        emit(
+            "AblationA",
+            "GS refinement: arrangement vs lower envelope (sf+slashdot)",
+            ["sigma", "arr time", "arr #part", "env time", "env #part",
+             "same NC-MACs"],
+            rows,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_range_filter(benchmark):
+    """Dijkstra vs G-tree backends of the Lemma-1 filter."""
+
+    def run():
+        ds = load("fl+lastfm")
+        rows = []
+        queries = queries_for(ds, DEFAULT_Q, DEFAULT_K, default_t_for(ds))
+        ds.network.build_gtree()  # build once, outside the timing
+        for t_val in (
+            default_t_for(ds) * f for f in (0.5, 1.0, 1.5, 2.0)
+        ):
+            times = {"dijkstra": 0.0, "gtree": 0.0}
+            kept = {"dijkstra": 0, "gtree": 0}
+            for q in queries:
+                start = time.perf_counter()
+                a = ds.network.query_distance_filter(q, t_val)
+                times["dijkstra"] += time.perf_counter() - start
+                start = time.perf_counter()
+                b = ds.network.query_distance_filter(
+                    q, t_val, use_gtree=True
+                )
+                times["gtree"] += time.perf_counter() - start
+                kept["dijkstra"] += len(a)
+                kept["gtree"] += len(b)
+                assert set(a) == set(b)
+            n = max(1, len(queries))
+            rows.append(
+                [
+                    round(t_val, 1),
+                    times["dijkstra"] / n,
+                    times["gtree"] / n,
+                    kept["dijkstra"] // n,
+                ]
+            )
+        emit(
+            "AblationB",
+            "range filter: Dijkstra vs G-tree (fl+lastfm)",
+            ["t", "dijkstra", "gtree", "avg kept users"],
+            rows,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_local_search_knobs(benchmark):
+    """Eq. 3 vs Eq. 4 expansion; fast vs chain certification."""
+
+    def run():
+        ds = load("sf+slashdot")
+        t = default_t_for(ds)
+        region = make_region(DEFAULT_D, 0.01)
+        variants = [
+            ("eq3", "fast"),
+            ("eq4", "fast"),
+            ("eq3", "chain"),
+        ]
+        rows = []
+        for strategy, certification in variants:
+            total, found = 0.0, 0
+            count = 0
+            for q in queries_for(ds, DEFAULT_Q, DEFAULT_K, t):
+                start = time.perf_counter()
+                res = mac_search(
+                    ds.network, q, DEFAULT_K, t, region,
+                    algorithm="local", problem="nc",
+                    strategy=strategy, certification=certification,
+                )
+                total += time.perf_counter() - start
+                found += len(res.nc_communities())
+                count += 1
+            rows.append(
+                [
+                    f"{strategy}/{certification}",
+                    total / max(1, count),
+                    found / max(1, count),
+                ]
+            )
+        emit(
+            "AblationC",
+            "LS knobs: expansion strategy x certification (sf+slashdot)",
+            ["variant", "time", "avg NC-MACs found"],
+            rows,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,13 @@
+"""Fig. 6: efficiency/scalability on SF+Slashdot (independent attributes).
+
+Six panels: query time vs k, t, d, |Q|, j and sigma for GS-T/GS-NC/
+LS-T/LS-NC.  Expected shapes (paper): LS ~10x faster than GS at small k,
+gap narrowing as k grows; time falls with k and |Q|, rises with t, d and
+sigma; GS-T nearly flat in j while LS-T rises.
+"""
+
+from _harness import standard_panels
+
+
+def test_fig06_sf_slashdot(benchmark):
+    standard_panels("Fig06", "sf+slashdot", benchmark)

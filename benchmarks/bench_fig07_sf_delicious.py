@@ -1,0 +1,7 @@
+"""Fig. 7: efficiency/scalability on SF+Delicious (independent attrs)."""
+
+from _harness import standard_panels
+
+
+def test_fig07_sf_delicious(benchmark):
+    standard_panels("Fig07", "sf+delicious", benchmark)

@@ -1,0 +1,7 @@
+"""Fig. 8: efficiency/scalability on FL+Lastfm (independent attrs)."""
+
+from _harness import standard_panels
+
+
+def test_fig08_fl_lastfm(benchmark):
+    standard_panels("Fig08", "fl+lastfm", benchmark)

@@ -1,0 +1,7 @@
+"""Fig. 9: efficiency/scalability on FL+Flixster (independent attrs)."""
+
+from _harness import standard_panels
+
+
+def test_fig09_fl_flixster(benchmark):
+    standard_panels("Fig09", "fl+flixster", benchmark)

@@ -1,0 +1,13 @@
+"""Fig. 10: efficiency/scalability on FL+Yelp ("real" zero-inflated,
+correlated attributes).
+
+Expected shape (paper Exp-6 discussion): although Yelp's H^t_k is the
+largest, correlated real attributes produce a near-chain r-dominance DAG
+with few branches, so queries run *faster* than on Flixster.
+"""
+
+from _harness import standard_panels
+
+
+def test_fig10_fl_yelp(benchmark):
+    standard_panels("Fig10", "fl+yelp", benchmark, kind="real")

@@ -1,0 +1,143 @@
+"""Fig. 11: scalability internals.
+
+(a) number of partitions of R during search vs sigma,
+(b) number of non-contained MACs vs sigma,
+(c) |H^t_k| vs k,
+(d) memory overhead (BBS/Gd build vs GS-NC vs LS-NC) vs d on FL+Lastfm.
+"""
+
+import tracemalloc
+
+from _harness import (
+    ALGORITHMS,
+    DEFAULT_D,
+    DEFAULT_J,
+    DEFAULT_K,
+    DEFAULT_Q,
+    DEFAULT_SIGMA,
+    K_VALUES,
+    SIGMA_VALUES,
+    default_t_for,
+    emit,
+    load,
+    make_region,
+    queries_for,
+    timed_search,
+)
+
+DATASETS = (
+    "sf+slashdot",
+    "sf+delicious",
+    "fl+lastfm",
+    "fl+flixster",
+    "fl+yelp",
+)
+
+
+def test_fig11a_partitions_vs_sigma(benchmark):
+    def run():
+        rows = []
+        for sigma in SIGMA_VALUES:
+            row = [f"{sigma:.1%}"]
+            for name in DATASETS:
+                ds = load(name)
+                t = default_t_for(ds)
+                region = make_region(DEFAULT_D, sigma)
+                counts = []
+                for q in queries_for(ds, DEFAULT_Q, DEFAULT_K, t):
+                    _e, res = timed_search(
+                        ds, q, DEFAULT_K, t, region, DEFAULT_J, "GS-NC"
+                    )
+                    if res is not None:
+                        counts.append(len(res.partitions))
+                row.append(
+                    sum(counts) / len(counts) if counts else float("nan")
+                )
+            rows.append(row)
+        emit("Fig11a", "avg #partitions of R (GS-NC) vs sigma",
+             ["sigma", *DATASETS], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig11b_ncmacs_vs_sigma(benchmark):
+    def run():
+        rows = []
+        for sigma in SIGMA_VALUES:
+            row = [f"{sigma:.1%}"]
+            for name in DATASETS:
+                ds = load(name)
+                t = default_t_for(ds)
+                region = make_region(DEFAULT_D, sigma)
+                counts = []
+                for q in queries_for(ds, DEFAULT_Q, DEFAULT_K, t):
+                    _e, res = timed_search(
+                        ds, q, DEFAULT_K, t, region, DEFAULT_J, "GS-NC"
+                    )
+                    if res is not None:
+                        counts.append(len(res.nc_communities()))
+                row.append(
+                    sum(counts) / len(counts) if counts else float("nan")
+                )
+            rows.append(row)
+        emit("Fig11b", "avg #non-contained MACs (GS-NC) vs sigma",
+             ["sigma", *DATASETS], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig11c_htk_size_vs_k(benchmark):
+    def run():
+        rows = []
+        for k in K_VALUES:
+            row = [k]
+            for name in DATASETS:
+                ds = load(name)
+                t = default_t_for(ds)
+                sizes = []
+                for q in queries_for(ds, DEFAULT_Q, k, t):
+                    kt = ds.network.maximal_kt_core(q, k, t)
+                    if kt is not None:
+                        sizes.append(kt.num_vertices)
+                row.append(sum(sizes) / len(sizes) if sizes else 0)
+            rows.append(row)
+        emit("Fig11c", "avg |H^t_k| vs k", ["k", *DATASETS], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig11d_memory_vs_d(benchmark):
+    """Peak memory of the BBS/Gd build and of each search, per d."""
+    from repro.dominance.graph import DominanceGraph
+
+    def run():
+        rows = []
+        for d in (2, 3, 4, 5):
+            ds = load("fl+lastfm", dimensions=d)
+            t = default_t_for(ds)
+            region = make_region(d, DEFAULT_SIGMA)
+            queries = queries_for(ds, DEFAULT_Q, DEFAULT_K, t)
+            if not queries:
+                rows.append([d] + [float("nan")] * 3)
+                continue
+            q = queries[0]
+            kt = ds.network.maximal_kt_core(q, DEFAULT_K, t)
+            attrs = ds.network.social.attributes_for(kt.graph.vertices())
+            tracemalloc.start()
+            DominanceGraph(attrs, region)
+            bbs_peak = tracemalloc.get_traced_memory()[1] / 1e6
+            tracemalloc.stop()
+            peaks = []
+            for algo in ("GS-NC", "LS-NC"):
+                tracemalloc.start()
+                timed_search(ds, q, DEFAULT_K, t, region, DEFAULT_J, algo)
+                peaks.append(tracemalloc.get_traced_memory()[1] / 1e6)
+                tracemalloc.stop()
+            rows.append([d, bbs_peak, peaks[0], peaks[1]])
+        emit("Fig11d", "peak memory (MB) vs d on FL+Lastfm",
+             ["d", "BBS/Gd", "GS-NC", "LS-NC"], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+_ = ALGORITHMS  # re-exported grids documented in the module docstring

@@ -1,0 +1,73 @@
+"""Fig. 12: ratio of non-contained MACs found by LS-NC vs GS-NC on
+FL+Lastfm, varying k and |Q|.
+
+Expected shape (paper): the ratio decreases with k and |Q| but stays
+high (~95% at the defaults).
+"""
+
+from _harness import (
+    DEFAULT_D,
+    DEFAULT_J,
+    DEFAULT_K,
+    DEFAULT_Q,
+    DEFAULT_SIGMA,
+    K_VALUES,
+    Q_VALUES,
+    default_t_for,
+    emit,
+    load,
+    make_region,
+    queries_for,
+    timed_search,
+)
+
+
+def _ratio(ds, q, k, t, region):
+    _e, gs = timed_search(ds, q, k, t, region, DEFAULT_J, "GS-NC")
+    _e, ls = timed_search(ds, q, k, t, region, DEFAULT_J, "LS-NC")
+    if gs is None or ls is None or not gs.nc_communities():
+        return None
+    gs_set = gs.nc_communities()
+    ls_set = ls.nc_communities()
+    assert ls_set <= gs_set, "LS must stay sound (subset of GS)"
+    return len(gs_set & ls_set) / len(gs_set)
+
+
+def test_fig12a_ratio_vs_k(benchmark):
+    def run():
+        ds = load("fl+lastfm")
+        t = default_t_for(ds)
+        region = make_region(DEFAULT_D, DEFAULT_SIGMA)
+        rows = []
+        for k in K_VALUES:
+            ratios = [
+                r
+                for q in queries_for(ds, DEFAULT_Q, k, t)
+                if (r := _ratio(ds, q, k, t, region)) is not None
+            ]
+            avg = sum(ratios) / len(ratios) if ratios else float("nan")
+            rows.append([k, f"{avg:.0%}" if ratios else "n/a"])
+        emit("Fig12a", "LS-NC / GS-NC found ratio vs k (FL+Lastfm)",
+             ["k", "ratio"], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig12b_ratio_vs_q(benchmark):
+    def run():
+        ds = load("fl+lastfm")
+        t = default_t_for(ds)
+        region = make_region(DEFAULT_D, DEFAULT_SIGMA)
+        rows = []
+        for q_size in Q_VALUES:
+            ratios = [
+                r
+                for q in queries_for(ds, q_size, DEFAULT_K, t)
+                if (r := _ratio(ds, q, DEFAULT_K, t, region)) is not None
+            ]
+            avg = sum(ratios) / len(ratios) if ratios else float("nan")
+            rows.append([q_size, f"{avg:.0%}" if ratios else "n/a"])
+        emit("Fig12b", "LS-NC / GS-NC found ratio vs |Q| (FL+Lastfm)",
+             ["|Q|", "ratio"], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Fig. 13: method comparison on SF+Delicious (independent attributes).
+
+Expected shape (paper): Influ/Influ+ beat GS-NC/LS-NC (no r-dominance
+graph, no half-spaces); Sky/Sky+ are the most expensive and blow up
+("Inf") as d grows.
+"""
+
+from _compare import run_comparison
+
+
+def test_fig13_compare_sf_delicious(benchmark):
+    run_comparison("Fig13", "sf+delicious", benchmark)

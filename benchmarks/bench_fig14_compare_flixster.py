@@ -1,0 +1,7 @@
+"""Fig. 14: method comparison on FL+Flixster (independent attributes)."""
+
+from _compare import run_comparison
+
+
+def test_fig14_compare_fl_flixster(benchmark):
+    run_comparison("Fig14", "fl+flixster", benchmark)

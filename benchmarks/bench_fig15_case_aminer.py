@@ -1,0 +1,109 @@
+"""Fig. 15: the Aminer+NA case study.
+
+Query = four renowned DM authors, k = 5, j = 2,
+R = [0.1,0.3] x [0.3,0.5] x [0.05,0.1] (d = 4), t effectively unbounded.
+The bench prints the top-2 MACs per partition (by author name) and the
+comparison communities: SkyC (skyline), InfC (1-d and w ∈ R influential),
+ATC ((k+1)-truss with keyword "DM").
+
+Expected shape (paper): the top-1 NC-MAC is the tight famous-author
+group; SkyC is contained in an NC-MAC; InfC with w ∈ R is covered by an
+NC-MAC; ATC is much larger than the MACs.
+"""
+
+from repro import PreferenceRegion, gs_topj
+from repro.baselines.influential import influ_nc
+from repro.baselines.skyline import SkylineBudgetExceeded, skyline_communities
+from repro.baselines.truss_attribute import attribute_truss_community
+from repro.datasets.aminer import aminer_case_study
+from repro.geometry.halfspace import score
+
+from _harness import emit
+
+
+def test_fig15_case_study_aminer(benchmark):
+    def run():
+        cs = aminer_case_study(num_background=600, groups=20, seed=11)
+        net = cs.network
+        region = PreferenceRegion([0.1, 0.3, 0.05], [0.3, 0.5, 0.1])
+        k, j, t = 5, 2, 1e9
+
+        from repro.errors import QueryError
+
+        try:
+            res = gs_topj(
+                net, cs.query, k, t, region, j=j, time_budget=120.0
+            )
+        except QueryError:
+            # Fall back to the local search if the exact partitioning
+            # exceeds its budget on slower machines.
+            from repro import ls_topj
+
+            res = ls_topj(net, cs.query, k, t, region, j=j)
+        rows = []
+        nc_macs = []
+        for i, entry in enumerate(res.partitions):
+            top1 = entry.communities[0]
+            nc_macs.append(top1.members)
+            rows.append(
+                [f"partition {i}", "top-1 NC-MAC", len(top1),
+                 ", ".join(cs.names(top1.members))]
+            )
+            if len(entry.communities) > 1:
+                top2 = entry.communities[1]
+                rows.append(
+                    [f"partition {i}", "top-2 MAC", len(top2),
+                     ", ".join(cs.names(top2.members))]
+                )
+
+        graph = net.social.graph
+        attrs = net.social.attributes
+
+        # InfC with a single attribute (#publications = dimension 1).
+        pubs = {v: float(attrs[v][1]) for v in graph.vertices()}
+        infc_1d = influ_nc(graph, pubs, k, cs.query)
+        if infc_1d:
+            rows.append(["InfC (1-D)", "influential", len(infc_1d),
+                         ", ".join(cs.names(infc_1d))])
+
+        # InfC with the weighted sum at the pivot of R.
+        w = region.pivot()
+        weighted = {v: score(attrs[v], w) for v in graph.vertices()}
+        infc_w = influ_nc(graph, weighted, k, cs.query)
+        if infc_w:
+            covered = any(infc_w <= m for m in nc_macs)
+            rows.append(["InfC (w in R)", f"covered by NC-MAC: {covered}",
+                         len(infc_w), ", ".join(cs.names(infc_w))])
+
+        # SkyC on the famous-author neighbourhood (skyline is weight-free).
+        neighborhood = set(cs.query)
+        for v in cs.query:
+            neighborhood |= graph.neighbors(v)
+        sub = graph.subgraph(neighborhood)
+        sub_attrs = {v: attrs[v] for v in sub.vertices()}
+        try:
+            sky = skyline_communities(
+                sub, sub_attrs, k, prune=True, budget=30_000
+            )
+            for members, _f in sky[:2]:
+                contained = any(members <= m for m in nc_macs)
+                rows.append(
+                    ["SkyC", f"contained in NC-MAC: {contained}",
+                     len(members), ", ".join(cs.names(members))]
+                )
+        except SkylineBudgetExceeded:
+            rows.append(["SkyC", "budget exceeded", "Inf", ""])
+
+        # ATC-style (k+1)-truss with keyword "DM".
+        atc = attribute_truss_community(
+            graph, cs.keywords, cs.query, k, keyword="DM"
+        )
+        if atc:
+            bigger = all(len(atc) >= len(m) for m in nc_macs)
+            rows.append(["ATC ('DM')", f"larger than MACs: {bigger}",
+                         len(atc), ", ".join(cs.names(atc))])
+
+        emit("Fig15", "Aminer+NA case study, k=5, j=2",
+             ["community", "note", "size", "members"], rows)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

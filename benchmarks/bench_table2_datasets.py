@@ -1,0 +1,48 @@
+"""Table II: dataset statistics (|V|, |E|, dg_avg, dg_max, k_max).
+
+Paper reference values (full-scale dumps):
+Slashdot 79K/0.5M dg13, Delicious 536K/1.4M dg5, Lastfm 1.2M/4.5M dg7,
+Flixster 2.5M/7.9M dg6, Yelp 3.6M/9.0M dg5; SF road 175K/223K dg2.55,
+FL road 1.1M/1.4M dg2.53.  The generated pairings reproduce the *shape*
+(degree mean, heavy tail, core depth) at REPRO_BENCH_SCALE.
+"""
+
+from _harness import SCALE, emit, load
+
+
+def test_table2_dataset_statistics(benchmark):
+    def run():
+        rows = []
+        for name in (
+            "sf+slashdot",
+            "sf+delicious",
+            "fl+lastfm",
+            "fl+flixster",
+            "fl+yelp",
+        ):
+            ds = load(name)
+            s = ds.network.social.statistics()
+            rows.append(
+                [
+                    name,
+                    s["vertices"],
+                    s["edges"],
+                    s["dg_avg"],
+                    s["dg_max"],
+                    s["k_max"],
+                    ds.network.road.num_vertices,
+                    ds.network.road.num_edges,
+                    round(ds.network.road.average_degree(), 2),
+                ]
+            )
+        emit(
+            "Table II",
+            f"generated dataset statistics at scale {SCALE}",
+            [
+                "dataset", "V", "E", "dg_avg", "dg_max", "k_max",
+                "road_V", "road_E", "road_dg",
+            ],
+            rows,
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

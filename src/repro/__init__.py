@@ -1,0 +1,73 @@
+"""repro: Multi-attributed Community Search in Road-social Networks.
+
+A from-scratch reproduction of Guo et al., ICDE 2021 (arXiv:2101.09668):
+the MAC community model over road-social networks, the r-dominance graph,
+and the global/local top-j and non-contained MAC search algorithms —
+plus every substrate they stand on (road network + G-tree, k-core /
+k-truss peeling, R-tree + BBS, preference-domain geometry) and the
+baselines they are evaluated against (influential and skyline community
+search).
+
+Quickstart::
+
+    from repro import datasets, mac_search, PreferenceRegion
+
+    net = datasets.load_dataset("sf+slashdot", scale=0.02, seed=7)
+    region = PreferenceRegion([0.30, 0.30], [0.36, 0.36])   # d = 3
+    result = mac_search(net.network, net.suggest_query(4, k=8, t=250),
+                        k=8, t=250, region=region, algorithm="local")
+    for entry in result.partitions:
+        print(entry.cell, sorted(entry.best.members))
+"""
+
+from repro.core.api import (
+    MACSearchResult,
+    gs_nc,
+    gs_topj,
+    ls_nc,
+    ls_topj,
+    mac_search,
+)
+from repro.core.query import Community, MACQuery, PartitionEntry
+from repro.dominance.graph import DominanceGraph
+from repro.errors import (
+    DatasetError,
+    GeometryError,
+    GraphError,
+    QueryError,
+    ReproError,
+)
+from repro.geometry.preference_learning import LearnedRegion
+from repro.geometry.region import PreferenceRegion
+from repro.graph.adjacency import AdjacencyGraph
+from repro.road.network import RoadNetwork, SpatialPoint
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "mac_search",
+    "gs_topj",
+    "gs_nc",
+    "ls_topj",
+    "ls_nc",
+    "MACSearchResult",
+    "MACQuery",
+    "Community",
+    "PartitionEntry",
+    "PreferenceRegion",
+    "LearnedRegion",
+    "DominanceGraph",
+    "AdjacencyGraph",
+    "RoadNetwork",
+    "SpatialPoint",
+    "SocialNetwork",
+    "RoadSocialNetwork",
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "GeometryError",
+    "DatasetError",
+    "__version__",
+]

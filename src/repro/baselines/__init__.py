@@ -1,0 +1,27 @@
+"""Baselines the paper compares against (Figs. 13-15).
+
+* ``influential`` — Influ / Influ+ (Li et al., PVLDB 2015 [4]): k-core
+  communities ranked by a 1-dimensional influence score; Influ+ uses the
+  precomputed ICP-index.
+* ``skyline`` — Sky / Sky+ (Li et al., SIGMOD 2018 [8]): skyline
+  communities under traditional d-dimensional dominance; Sky+ adds
+  space-partition pruning.
+* ``truss_attribute`` — ATC-style (Huang & Lakshmanan, PVLDB 2017 [7]):
+  (k+1)-truss community with keyword filtering (case-study comparator).
+"""
+
+from repro.baselines.influential import (
+    ICPIndex,
+    influ_nc,
+    influential_communities,
+)
+from repro.baselines.skyline import skyline_communities
+from repro.baselines.truss_attribute import attribute_truss_community
+
+__all__ = [
+    "influential_communities",
+    "influ_nc",
+    "ICPIndex",
+    "skyline_communities",
+    "attribute_truss_community",
+]

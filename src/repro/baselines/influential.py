@@ -1,0 +1,252 @@
+"""Influential community search (Li et al., PVLDB 2015 — "Influ"/"Influ+").
+
+An influential community is a maximal connected k-core whose *influence*
+(the minimum vertex weight inside) is not exceeded by any super-community
+of equal coreness.  The paper's Figs. 13-14 compare MAC search against:
+
+* ``Influ`` — the online DFS/peeling algorithm: repeatedly remove the
+  globally smallest-weight vertex with structural cascade; the connected
+  k-core containing each removed minimum (at removal time) is an
+  influential community with influence equal to that minimum's weight.
+* ``Influ+`` — the ICP-index: the complete laminar family of influential
+  communities precomputed per k as a forest (reverse-deletion union-find),
+  so queries are tree walks instead of peels.
+
+For the comparison protocol of Section VII, the 1-d weight of a vertex is
+the weighted sum of its d attributes at a sampled weight vector w ∈ R.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+from repro.errors import QueryError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import peel_to_k_core
+
+
+def _peel_steps(
+    core: AdjacencyGraph, weights: Mapping[int, float], k: int
+) -> list[tuple[float, int, list[int]]]:
+    """Peel the k-core in increasing weight order.
+
+    Returns one step per score-deleted minimum: (influence, trigger,
+    deleted vertices of the step — trigger plus structural cascade).
+    """
+    g = core.copy()
+    heap = [(weights[v], v) for v in g.vertices()]
+    heapq.heapify(heap)
+    steps: list[tuple[float, int, list[int]]] = []
+    while heap:
+        w, u = heapq.heappop(heap)
+        if u not in g:
+            continue
+        removed: list[int] = []
+        stack = [u]
+        while stack:
+            v = stack.pop()
+            if v not in g:
+                continue
+            nbrs = list(g.neighbors(v))
+            g.remove_vertex(v)
+            removed.append(v)
+            for x in nbrs:
+                if x in g and g.degree(x) < k:
+                    stack.append(x)
+        steps.append((w, u, removed))
+    return steps
+
+
+def influential_communities(
+    graph: AdjacencyGraph,
+    weights: Mapping[int, float],
+    k: int,
+    top_r: int | None = None,
+    query: Iterable[int] | None = None,
+) -> list[frozenset[int]]:
+    """Online peeling ("Influ"): top-r influential k-communities.
+
+    Communities are returned in decreasing influence order (strongest
+    first).  With ``query`` given, only communities containing all query
+    vertices are reported (the "involving Q" variant of Fig. 15(f,g)) —
+    those form a nested chain.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    core = peel_to_k_core(graph, k)
+    q = sorted(set(query)) if query is not None else []
+    if any(v not in core for v in q):
+        return []
+    g = core.copy()
+    heap = [(weights[v], v) for v in g.vertices()]
+    heapq.heapify(heap)
+    out: deque[frozenset[int]] = deque(maxlen=top_r)
+    while heap:
+        _w, u = heapq.heappop(heap)
+        if u not in g:
+            continue
+        component = g.component_of(u)
+        if not q or all(v in component for v in q):
+            out.append(frozenset(component))
+        stack = [u]
+        while stack:
+            v = stack.pop()
+            if v not in g:
+                continue
+            nbrs = list(g.neighbors(v))
+            g.remove_vertex(v)
+            for x in nbrs:
+                if x in g and g.degree(x) < k:
+                    stack.append(x)
+    return list(reversed(out))
+
+
+def influ_nc(
+    graph: AdjacencyGraph,
+    weights: Mapping[int, float],
+    k: int,
+    query: Iterable[int],
+) -> frozenset[int] | None:
+    """The most influential (deepest) community containing Q."""
+    found = influential_communities(graph, weights, k, top_r=1, query=query)
+    return found[0] if found else None
+
+
+class _ICPNode:
+    __slots__ = ("influence", "trigger", "members", "children", "parent")
+
+    def __init__(self, influence: float, trigger: int, members: list[int]):
+        self.influence = influence
+        self.trigger = trigger
+        self.members = members  # vertices deleted exactly at this step
+        self.children: list[int] = []
+        self.parent: int | None = None
+
+
+class ICPIndex:
+    """The ICP-index ("Influ+"): influential communities as a forest.
+
+    Construction reverses the peeling: steps are replayed last-to-first
+    over a union-find, so each step's community becomes a node whose
+    children are the components it engulfs.  The community of a node is
+    its subtree's member union; communities containing Q correspond to the
+    ancestors of the LCA of Q's nodes.  Space is O(n) per k.
+    """
+
+    def __init__(
+        self,
+        graph: AdjacencyGraph,
+        weights: Mapping[int, float],
+        k_values: Iterable[int],
+    ) -> None:
+        self.weights = dict(weights)
+        self._forest: dict[int, list[_ICPNode]] = {}
+        self._node_of: dict[int, dict[int, int]] = {}
+        for k in sorted(set(k_values)):
+            self._build(graph, k)
+
+    def _build(self, graph: AdjacencyGraph, k: int) -> None:
+        core = peel_to_k_core(graph, k)
+        steps = _peel_steps(core, self.weights, k)
+        nodes: list[_ICPNode] = []
+        node_of: dict[int, int] = {}
+        dsu: dict[int, int] = {}
+        comp_node: dict[int, int] = {}  # dsu root -> newest node index
+
+        def find(v: int) -> int:
+            root = v
+            while dsu[root] != root:
+                root = dsu[root]
+            while dsu[v] != root:
+                dsu[v], v = root, dsu[v]
+            return root
+
+        for influence, trigger, removed in reversed(steps):
+            idx = len(nodes)
+            node = _ICPNode(influence, trigger, list(removed))
+            nodes.append(node)
+            for v in removed:
+                dsu[v] = v
+                node_of[v] = idx
+            merged_nodes: set[int] = set()
+            seed = removed[0]
+            for v in removed:
+                for u in core.neighbors(v):
+                    if u in dsu:
+                        ru, rv = find(u), find(v)
+                        if ru != rv:
+                            for r in (ru, rv):
+                                child = comp_node.get(r)
+                                if child is not None and child != idx:
+                                    merged_nodes.add(child)
+                            dsu[ru] = rv
+            root = find(seed)
+            for child in merged_nodes:
+                nodes[child].parent = idx
+                node.children.append(child)
+            comp_node[root] = idx
+        self._forest[k] = nodes
+        self._node_of[k] = node_of
+
+    # ------------------------------------------------------------------
+    def k_values(self) -> list[int]:
+        return sorted(self._forest)
+
+    def _members(self, k: int, idx: int) -> frozenset[int]:
+        nodes = self._forest[k]
+        out: list[int] = []
+        stack = [idx]
+        while stack:
+            node = nodes[stack.pop()]
+            out.extend(node.members)
+            stack.extend(node.children)
+        return frozenset(out)
+
+    def query(
+        self,
+        k: int,
+        top_r: int | None = None,
+        query: Iterable[int] | None = None,
+    ) -> list[frozenset[int]]:
+        """Top-r influential k-communities (optionally containing Q),
+        strongest (highest influence) first."""
+        if k not in self._forest:
+            raise QueryError(f"index not built for k={k}")
+        nodes = self._forest[k]
+        if query is not None:
+            q = sorted(set(query))
+            node_of = self._node_of[k]
+            if any(v not in node_of for v in q):
+                return []
+            # LCA of Q's nodes: deepest common ancestor in the forest.
+            paths = []
+            for v in q:
+                path = []
+                idx: int | None = node_of[v]
+                while idx is not None:
+                    path.append(idx)
+                    idx = nodes[idx].parent
+                paths.append(list(reversed(path)))
+            common = 0
+            for level in range(min(len(p) for p in paths)):
+                first = paths[0][level]
+                if all(p[level] == first for p in paths):
+                    common = level
+                else:
+                    break
+            if not all(
+                p[common] == paths[0][common] for p in paths
+            ):
+                return []
+            chain = list(reversed(paths[0][: common + 1]))
+            if top_r is not None:
+                chain = chain[:top_r]
+            return [self._members(k, idx) for idx in chain]
+        order = sorted(
+            range(len(nodes)), key=lambda i: -nodes[i].influence
+        )
+        if top_r is not None:
+            order = order[:top_r]
+        return [self._members(k, idx) for idx in order]

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: MAC search algorithms.
+
+Public entry points live in :mod:`repro.core.api` — ``gs_topj``/``gs_nc``
+(Algorithm 1, global search) and ``ls_topj``/``ls_nc`` (Algorithms 3-5,
+local search), plus the generic :func:`mac_search` dispatcher.
+"""
+
+from repro.core.api import (
+    MACSearchResult,
+    gs_nc,
+    gs_topj,
+    ls_nc,
+    ls_topj,
+    mac_search,
+)
+from repro.core.query import Community, MACQuery, PartitionEntry
+
+__all__ = [
+    "MACQuery",
+    "Community",
+    "PartitionEntry",
+    "MACSearchResult",
+    "mac_search",
+    "gs_topj",
+    "gs_nc",
+    "ls_topj",
+    "ls_nc",
+]

@@ -1,0 +1,227 @@
+"""Public entry points for MAC search on road-social networks.
+
+``mac_search`` runs the full pipeline of the paper: range filter
+(Lemma 1, optionally G-tree accelerated), maximal (k,t)-core (Lemma 3),
+r-dominance graph construction (Section IV), then global (Algorithm 1) or
+local (Algorithms 3-5) search for Problem 1 (top-j) or Problem 2
+(non-contained).  The four named algorithms of Section VII are the
+convenience wrappers ``gs_topj`` (GS-T), ``gs_nc`` (GS-NC), ``ls_topj``
+(LS-T) and ``ls_nc`` (LS-NC).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dominance.graph import DominanceGraph
+from repro.errors import QueryError
+from repro.geometry.region import PreferenceRegion
+from repro.core.global_search import GlobalSearch, SearchStats
+from repro.core.local_search import LocalSearch
+from repro.core.query import Community, MACQuery, PartitionEntry
+from repro.social.roadsocial import RoadSocialNetwork
+
+
+@dataclass
+class MACSearchResult:
+    """Outcome of a MAC search: partitions of R with their communities."""
+
+    query: MACQuery
+    partitions: list[PartitionEntry]
+    stats: SearchStats
+    elapsed: float
+    htk_vertices: int = 0
+    htk_edges: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.partitions
+
+    def communities(self) -> set[Community]:
+        """All distinct communities across every partition and rank."""
+        out: set[Community] = set()
+        for entry in self.partitions:
+            out.update(entry.communities)
+        return out
+
+    def nc_communities(self) -> set[Community]:
+        """Distinct rank-1 (non-contained / best) communities."""
+        return {entry.best for entry in self.partitions if entry.communities}
+
+    def entry_at(self, w_reduced: np.ndarray) -> PartitionEntry | None:
+        """The partition whose cell contains the weight ``w_reduced``."""
+        w = np.asarray(w_reduced, dtype=float)
+        for entry in self.partitions:
+            if entry.cell.contains(w):
+                return entry
+        return None
+
+    def summary(self, max_rows: int = 10) -> str:
+        """Human-readable digest of the result (one line per partition)."""
+        if self.is_empty:
+            return (
+                f"MAC search {self.query.query}: no maximal (k,t)-core — "
+                f"no communities ({self.elapsed:.3f}s)"
+            )
+        lines = [
+            f"MAC search Q={self.query.query} k={self.query.k} "
+            f"t={self.query.t:g}: {len(self.partitions)} partition(s), "
+            f"{len(self.communities())} distinct MAC(s), "
+            f"|H^t_k|={self.htk_vertices}, {self.elapsed:.3f}s"
+        ]
+        for i, entry in enumerate(self.partitions[:max_rows]):
+            w = entry.sample_weight()
+            sizes = "/".join(str(len(c)) for c in entry.communities)
+            lines.append(
+                f"  [{i}] w≈{np.round(w, 3).tolist()} sizes {sizes}"
+            )
+        if len(self.partitions) > max_rows:
+            lines.append(f"  ... {len(self.partitions) - max_rows} more")
+        return "\n".join(lines)
+
+
+def _prepare(
+    network: RoadSocialNetwork,
+    query: Iterable[int],
+    k: int,
+    t: float,
+    region: PreferenceRegion,
+    use_gtree: bool,
+):
+    """Shared pipeline: H^t_k then Gd (returns None when H^t_k is empty)."""
+    if region.num_attributes != network.social.dimensionality:
+        raise QueryError(
+            f"region is for d={region.num_attributes} attributes but the "
+            f"network has d={network.social.dimensionality}"
+        )
+    ktcore = network.maximal_kt_core(query, k, t, use_gtree=use_gtree)
+    if ktcore is None:
+        return None
+    attrs = network.social.attributes_for(ktcore.graph.vertices())
+    gd = DominanceGraph(attrs, region)
+    return ktcore, gd
+
+
+def mac_search(
+    network: RoadSocialNetwork,
+    query: Iterable[int],
+    k: int,
+    t: float,
+    region: PreferenceRegion,
+    j: int = 1,
+    algorithm: str = "global",
+    problem: str = "nc",
+    use_gtree: bool = False,
+    max_partitions: int | None = None,
+    strategy: str = "eq3",
+    max_candidates: int = 24,
+    refinement: str = "arrangement",
+    certification: str = "fast",
+    time_budget: float | None = None,
+) -> MACSearchResult:
+    """Run a MAC search end to end.
+
+    Parameters
+    ----------
+    network:
+        The road-social network.
+    query, k, t, region, j:
+        The query of Problems 1/2 (Section II-D).
+    algorithm:
+        ``"global"`` (Algorithm 1) or ``"local"`` (Algorithms 3-5).
+    problem:
+        ``"nc"`` (Problem 2, non-contained MACs) or ``"topj"`` (Problem 1).
+    use_gtree:
+        Accelerate the Lemma-1 range filter with a (cached) G-tree.
+    max_partitions:
+        Safety budget for the global search's output size.
+    strategy, max_candidates:
+        Local-search knobs (Eq. 3 vs Eq. 4 priority; Expand snapshots).
+    refinement:
+        Global-search partitioning: ``"arrangement"`` (the paper's
+        Algorithm 1 — all pairwise leaf half-spaces) or ``"envelope"``
+        (lower-envelope ablation: refine only against the current
+        minimum; same non-contained MACs, far fewer partitions).
+    """
+    if algorithm not in ("global", "local"):
+        raise QueryError(f"unknown algorithm {algorithm!r}")
+    if problem not in ("nc", "topj"):
+        raise QueryError(f"unknown problem {problem!r}")
+    q = MACQuery.make(query, k, t, region, j)
+    start = time.perf_counter()
+    prepared = _prepare(network, q.query, k, t, region, use_gtree)
+    if prepared is None:
+        return MACSearchResult(
+            q, [], SearchStats(), time.perf_counter() - start
+        )
+    ktcore, gd = prepared
+    if algorithm == "global":
+        searcher = GlobalSearch(
+            ktcore.graph, gd, q.query, k, region,
+            max_partitions=max_partitions, refinement=refinement,
+            time_budget=time_budget,
+        )
+        partitions = (
+            searcher.search_nc() if problem == "nc" else searcher.search_topj(j)
+        )
+        stats = searcher.stats
+    else:
+        searcher = LocalSearch(
+            ktcore.graph,
+            gd,
+            q.query,
+            k,
+            region,
+            strategy=strategy,
+            max_candidates=max_candidates,
+            certification=certification,
+        )
+        partitions = (
+            searcher.search_nc() if problem == "nc" else searcher.search_topj(j)
+        )
+        stats = searcher.stats
+    return MACSearchResult(
+        q,
+        partitions,
+        stats,
+        time.perf_counter() - start,
+        htk_vertices=ktcore.num_vertices,
+        htk_edges=ktcore.num_edges,
+    )
+
+
+def gs_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
+    """GS-T: global search for the top-j MACs (Problem 1)."""
+    return mac_search(
+        network, query, k, t, region, j=j,
+        algorithm="global", problem="topj", **kwargs,
+    )
+
+
+def gs_nc(network, query, k, t, region, **kwargs) -> MACSearchResult:
+    """GS-NC: global search for the non-contained MACs (Problem 2)."""
+    return mac_search(
+        network, query, k, t, region,
+        algorithm="global", problem="nc", **kwargs,
+    )
+
+
+def ls_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
+    """LS-T: local search for the top-j MACs (Problem 1)."""
+    return mac_search(
+        network, query, k, t, region, j=j,
+        algorithm="local", problem="topj", **kwargs,
+    )
+
+
+def ls_nc(network, query, k, t, region, **kwargs) -> MACSearchResult:
+    """LS-NC: local search for the non-contained MACs (Problem 2)."""
+    return mac_search(
+        network, query, k, t, region,
+        algorithm="local", problem="nc", **kwargs,
+    )

@@ -1,0 +1,303 @@
+"""Algorithm 1: the DFS-based global search (GS-T / GS-NC).
+
+The search maintains a work queue of tasks ``(alive, batches, leaves,
+cell)``: the current subgraph H (as its vertex set), the deletion history
+(one batch per peeling round, for top-j backtracking), the current leaf
+set of the restricted r-dominance graph G'd, and the partition ρ of R.
+
+Per task, the pairwise score half-spaces of the current leaves are tested
+against ρ.  If none crosses, the smallest-score leaf is unambiguous over
+all of ρ: peel it (DFS cascade, lines 15-20), check the Corollary-1
+early-termination conditions, and loop.  Otherwise ρ is refined by the
+crossing half-spaces via the Algorithm-2 partition tree and each sub-cell
+is re-queued — each inherits H and the history, exactly the recursion of
+Algorithm 1 with the paper's half-space caching (each pair's half-space is
+computed once, in :class:`DominanceGraph`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.dominance.graph import DominanceGraph
+from repro.errors import QueryError
+from repro.geometry.cell import Cell
+from repro.geometry.partition_tree import PartitionTree
+from repro.geometry.region import PreferenceRegion
+from repro.graph.adjacency import AdjacencyGraph
+from repro.core.peeling import (
+    cascade_delete_recoverable,
+    restore_removed,
+    restrict_to_query_component,
+)
+from repro.core.query import Community, PartitionEntry
+
+
+@dataclass
+class SearchStats:
+    """Counters reported by a search run (Fig. 11 uses these)."""
+
+    partitions: int = 0
+    tasks: int = 0
+    peel_rounds: int = 0
+    halfspaces_inserted: int = 0
+    candidates: int = 0  # used by local search
+    extra: dict = field(default_factory=dict)
+
+
+class GlobalSearch:
+    """Algorithm 1 over a prepared H^t_k and its r-dominance graph."""
+
+    def __init__(
+        self,
+        htk: AdjacencyGraph,
+        gd: DominanceGraph,
+        query: Iterable[int],
+        k: int,
+        region: PreferenceRegion,
+        max_partitions: int | None = None,
+        refinement: str = "arrangement",
+        time_budget: float | None = None,
+    ) -> None:
+        if refinement not in ("arrangement", "envelope"):
+            raise QueryError(f"unknown refinement {refinement!r}")
+        self.htk = htk
+        self.gd = gd
+        self.query = tuple(sorted(set(query)))
+        self.query_set = set(self.query)
+        self.k = k
+        self.region = region
+        self.max_partitions = max_partitions
+        #: "arrangement" is the paper's Algorithm 1 (insert the pairwise
+        #: half-spaces of *all* current leaf vertices, Line 7); "envelope"
+        #: is an ablation that refines only by half-spaces against the
+        #: current minimum (the lower envelope) — it yields the same
+        #: non-contained MACs with far fewer partitions (see the ablation
+        #: benchmark), but different top-j chain groupings.
+        self.refinement = refinement
+        #: Optional wall-clock cap in seconds; exceeded => QueryError.
+        self.time_budget = time_budget
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # leaf maintenance on the alive-restricted dominance graph
+    # ------------------------------------------------------------------
+    def _is_leaf(self, v: int, alive: frozenset[int]) -> bool:
+        """No alive strict descendant (walking through dead vertices)."""
+        stack = list(self.gd.children[v])
+        seen: set[int] = set()
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            if c in alive:
+                return False
+            stack.extend(self.gd.children[c])
+        return True
+
+    def _updated_leaves(
+        self,
+        leaves: frozenset[int],
+        batch: frozenset[int],
+        alive: frozenset[int],
+    ) -> frozenset[int]:
+        """Leaves after removing ``batch``; new leaves are alive ancestors."""
+        out = set(leaves) - batch
+        candidates: set[int] = set()
+        stack = [p for b in batch for p in self.gd.parents[b]]
+        seen: set[int] = set()
+        while stack:
+            p = stack.pop()
+            if p in seen:
+                continue
+            seen.add(p)
+            if p in alive:
+                candidates.add(p)
+            else:
+                stack.extend(self.gd.parents[p])
+        for p in candidates:
+            if p not in out and self._is_leaf(p, alive):
+                out.add(p)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    def _argmin_crossing(
+        self,
+        leaves: Iterable[int],
+        u_min: int,
+        cell: Cell,
+        dominated: set[tuple[int, int]],
+    ):
+        """Half-spaces ``S(v) >= S(u_min)`` that cross the cell.
+
+        Computing the smallest-score vertex only needs the lower envelope
+        of the leaves' score functions, not their full arrangement: if
+        every other leaf scores above ``u_min`` throughout the cell, the
+        minimum is settled.  ``dominated`` caches (v, u) pairs already
+        known to satisfy S(v) >= S(u) over this task's cell (the cell is
+        fixed between peeling rounds of one task).
+        """
+        crossing = []
+        for v in leaves:
+            if v == u_min or (v, u_min) in dominated:
+                continue
+            h = self.gd.halfspace(v, u_min)
+            side = cell.side_of(h)
+            if side == "split":
+                crossing.append(h)
+            else:
+                # "inside": v >= u_min everywhere.  "outside" can only be
+                # an eps-scale tie (u_min was the argmin at the interior
+                # point); either peel order is then acceptable — treat as
+                # settled to avoid refining on degenerate hyperplanes.
+                dominated.add((v, u_min))
+        return crossing
+
+    def _pairwise_crossing(
+        self,
+        leaves: Iterable[int],
+        cell: Cell,
+        resolved: set[tuple[int, int]],
+    ):
+        """All leaf-pair half-spaces crossing the cell (Algorithm 1, L7).
+
+        ``resolved`` caches pairs already known not to cross this task's
+        cell (the cell is fixed between peeling rounds of one task, and
+        relations never un-resolve as leaves churn)."""
+        ordered = sorted(leaves)
+        crossing = []
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1 :]:
+                key = (u, v)
+                if key in resolved:
+                    continue
+                h = self.gd.halfspace(u, v)
+                if cell.side_of(h) == "split":
+                    crossing.append(h)
+                else:
+                    resolved.add(key)
+        return crossing
+
+    def _smallest_leaf(self, leaves: Iterable[int], cell: Cell) -> int:
+        w = cell.interior_point()
+        return min(leaves, key=lambda v: (self.gd.score_at(v, w), v))
+
+    def _cascade(self, graph: AdjacencyGraph, trigger: int):
+        """Structural cascade after deleting ``trigger`` (override point
+        for other cohesiveness metrics, e.g. the k-truss extension)."""
+        return cascade_delete_recoverable(graph, trigger, self.k)
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[tuple[Cell, frozenset[int], tuple[frozenset[int], ...]]]:
+        """Execute the search; returns (cell, final alive set, batches)."""
+        alive0 = frozenset(self.htk.vertices())
+        if not self.query_set <= alive0:
+            raise QueryError("query vertices missing from H^t_k")
+        leaves0 = frozenset(self.gd.leaves_within(alive0))
+        root = Cell.from_region(self.region)
+        results: list[
+            tuple[Cell, frozenset[int], tuple[frozenset[int], ...]]
+        ] = []
+        queue: deque = deque([(alive0, (), leaves0, root)])
+        deadline = (
+            time.perf_counter() + self.time_budget
+            if self.time_budget is not None
+            else None
+        )
+        while queue:
+            alive, batches, leaves, cell = queue.popleft()
+            self.stats.tasks += 1
+            if (
+                deadline is not None
+                and self.stats.tasks % 16 == 0
+                and time.perf_counter() > deadline
+            ):
+                raise QueryError(
+                    f"global search exceeded its time budget "
+                    f"({self.time_budget}s)"
+                )
+            graph = None  # built lazily: split-only tasks never peel
+            dominated: set[tuple[int, int]] = set()
+            while True:
+                u = self._smallest_leaf(leaves, cell)
+                if self.refinement == "arrangement":
+                    crossing = self._pairwise_crossing(
+                        leaves, cell, dominated
+                    )
+                else:
+                    crossing = self._argmin_crossing(
+                        leaves, u, cell, dominated
+                    )
+                if crossing:
+                    tree = PartitionTree(cell)
+                    for h in crossing:
+                        tree.insert(h)
+                        self.stats.halfspaces_inserted += 1
+                    for sub in tree.leaves():
+                        queue.append((alive, batches, leaves, sub))
+                    if (
+                        self.max_partitions is not None
+                        and len(results) + len(queue) > self.max_partitions
+                    ):
+                        raise QueryError(
+                            "partition budget exceeded "
+                            f"({self.max_partitions}); enlarge max_partitions"
+                        )
+                    break
+                # u is the smallest-score leaf across the whole cell.
+                if u in self.query_set:
+                    results.append((cell, alive, batches))
+                    break
+                self.stats.peel_rounds += 1
+                if graph is None:
+                    graph = self.htk.subgraph(alive)
+                removed = self._cascade(graph, u)
+                deleted = {v for v, _nbrs in removed}
+                if deleted & self.query_set:
+                    results.append((cell, alive, batches))
+                    restore_removed(graph, removed)
+                    break
+                dropped = restrict_to_query_component(graph, self.query)
+                if dropped is None:
+                    results.append((cell, alive, batches))
+                    restore_removed(graph, removed)
+                    break
+                batch = frozenset(deleted | dropped)
+                alive = alive - batch
+                batches = batches + (batch,)
+                leaves = self._updated_leaves(leaves, batch, alive)
+        self.stats.partitions = len(results)
+        return results
+
+    # ------------------------------------------------------------------
+    def search_nc(self) -> list[PartitionEntry]:
+        """Problem 2: the non-contained MAC per partition of R."""
+        return [
+            PartitionEntry(cell, [Community(alive)])
+            for cell, alive, _batches in self.run()
+        ]
+
+    def search_topj(self, j: int) -> list[PartitionEntry]:
+        """Problem 1: the top-j MACs per partition of R (best first).
+
+        The chain is recovered by backtracking the deletion history j-1
+        times (line 13 of Algorithm 1): each backtrack unions the most
+        recent batch back into the community.
+        """
+        if j < 1:
+            raise QueryError(f"j must be >= 1, got {j}")
+        entries = []
+        for cell, alive, batches in self.run():
+            chain = [Community(alive)]
+            current = set(alive)
+            for batch in reversed(batches):
+                if len(chain) >= j:
+                    break
+                current |= batch
+                chain.append(Community(current))
+            entries.append(PartitionEntry(cell, chain))
+        return entries

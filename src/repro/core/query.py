@@ -1,0 +1,112 @@
+"""Query and result types for MAC search."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.cell import Cell
+from repro.geometry.halfspace import score
+from repro.geometry.region import PreferenceRegion
+
+
+@dataclass(frozen=True)
+class MACQuery:
+    """A multi-attributed community search query (Q, k, t, R, j)."""
+
+    query: tuple[int, ...]
+    k: int
+    t: float
+    region: PreferenceRegion
+    j: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.query:
+            raise QueryError("query user set Q must be non-empty")
+        if self.k < 1:
+            raise QueryError(f"coreness threshold k must be >= 1, got {self.k}")
+        if self.t < 0:
+            raise QueryError(f"distance threshold t must be >= 0, got {self.t}")
+        if self.j < 1:
+            raise QueryError(f"j must be >= 1, got {self.j}")
+
+    @staticmethod
+    def make(
+        query: Iterable[int],
+        k: int,
+        t: float,
+        region: PreferenceRegion,
+        j: int = 1,
+    ) -> MACQuery:
+        return MACQuery(tuple(sorted(set(query))), k, t, region, j)
+
+
+class Community:
+    """An MAC: an immutable vertex set with score helpers."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: Iterable[int]) -> None:
+        self.members = frozenset(members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.members
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Community) and self.members == other.members
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
+    def score_at(
+        self, w_reduced: np.ndarray, attributes: Mapping[int, np.ndarray]
+    ) -> float:
+        """Community score S(H) = min over members (Eq. 2) at weight w."""
+        return min(
+            score(attributes[v], np.asarray(w_reduced, dtype=float))
+            for v in self.members
+        )
+
+    def min_vertex_at(
+        self, w_reduced: np.ndarray, attributes: Mapping[int, np.ndarray]
+    ) -> int:
+        """The smallest-score member at weight w (ties by id)."""
+        w = np.asarray(w_reduced, dtype=float)
+        return min(
+            self.members, key=lambda v: (score(attributes[v], w), v)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shown = sorted(self.members)
+        if len(shown) > 8:
+            return f"Community({shown[:8]}... |{len(shown)}|)"
+        return f"Community({shown})"
+
+
+@dataclass
+class PartitionEntry:
+    """One partition of R with its associated communities.
+
+    ``communities`` holds the top-j chain (best first) for Problem 1, or a
+    single-element list (the non-contained MAC) for Problem 2.
+    """
+
+    cell: Cell
+    communities: list[Community] = field(default_factory=list)
+
+    @property
+    def best(self) -> Community:
+        return self.communities[0]
+
+    def sample_weight(self) -> np.ndarray:
+        """A representative weight vector inside the partition."""
+        return self.cell.interior_point()

@@ -1,0 +1,34 @@
+"""Dataset generators and the named registry of paper-like pairings.
+
+The paper evaluates on five real social networks (Slashdot, Delicious,
+Lastfm, Flixster, Yelp), two road maps (San Francisco, Florida) and two
+case-study networks (Aminer, Yelp).  Those dumps are not redistributable,
+so this package generates *seeded synthetic equivalents with matching
+shape statistics* (degree distribution, core depth, attribute correlation,
+road sparsity) at a configurable scale — see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.datasets.attributes import generate_attributes
+from repro.datasets.aminer import aminer_case_study
+from repro.datasets.locations import checkin_locations
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    LoadedDataset,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.datasets.roads import grid_road
+from repro.datasets.socials import power_law_social
+
+__all__ = [
+    "grid_road",
+    "power_law_social",
+    "generate_attributes",
+    "checkin_locations",
+    "load_dataset",
+    "LoadedDataset",
+    "DATASET_NAMES",
+    "dataset_statistics",
+    "aminer_case_study",
+]

@@ -1,0 +1,173 @@
+"""Aminer+NA-style case-study network (Fig. 15).
+
+The paper's first case study queries four renowned data-mining authors in
+a scientific collaboration network (109,931 authors; four numerical
+attributes: h-index, #publications, activeness, diverseness) mapped onto
+the North-America road map.  The crawl is not redistributable, so this
+module synthesizes a collaboration network with the same structure:
+
+* a dense, named "DM community" around the four query authors whose
+  attribute tiers reproduce the nested top-1/top-2 MAC structure of
+  Fig. 15(a-d),
+* background research groups (planted partition) with correlated
+  attributes,
+* per-author field keywords (DB/DM/IR/ML) for the ATC-style baseline,
+* locations on an NA-like grid road, with research groups clustered
+  geographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.locations import checkin_locations
+from repro.datasets.roads import grid_road
+from repro.graph.adjacency import AdjacencyGraph
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+#: The named inner community, ordered by attribute tier (strongest first).
+DM_AUTHORS = (
+    "Jiawei Han",
+    "Jian Pei",
+    "Philip S. Yu",
+    "Xifeng Yan",
+    "Ke Wang",
+    "Charu Aggarwal",
+    "Haixun Wang",
+    "Yizhou Sun",
+    "Chi Wang",
+    "Xiang Ren",
+    "Yintao Yu",
+    "Jing Gao",
+    "Xiaohui Gu",
+    "Yu Xiao",
+    "Xin Jin",
+    "Chen Chen",
+    "Wei Fan",
+    "Marina Danilevsky",
+)
+
+#: The case-study query (Fig. 15): four renowned DM scientists.
+QUERY_AUTHORS = ("Jiawei Han", "Jian Pei", "Philip S. Yu", "Xifeng Yan")
+
+FIELDS = ("DB", "DM", "IR", "ML")
+
+
+@dataclass
+class CaseStudyNetwork:
+    """The generated case-study pairing with author-name mappings."""
+
+    network: RoadSocialNetwork
+    author_id: dict[str, int]
+    author_name: dict[int, str]
+    keywords: dict[int, str]
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def query(self) -> tuple[int, ...]:
+        return tuple(sorted(self.author_id[a] for a in QUERY_AUTHORS))
+
+    def names(self, members) -> list[str]:
+        return sorted(self.author_name.get(v, f"author-{v}") for v in members)
+
+
+def _dm_attribute(rank: int, rng: np.random.Generator) -> np.ndarray:
+    """Four-dimensional attributes decreasing with the tier rank.
+
+    Tiers (matching the nesting of Fig. 15): ranks 0-6 are the strongest
+    (the top-1 non-contained MAC), 7-8 next (top-2 MAC), 9-10 next, then
+    11, then the rest of the DM community.
+    """
+    tiers = [7, 9, 11, 12, len(DM_AUTHORS)]
+    tier = next(i for i, stop in enumerate(tiers) if rank < stop)
+    base = 9.0 - 1.1 * tier
+    return np.clip(
+        base + rng.normal(0.0, 0.15, size=4), 0.5, 10.0
+    )
+
+
+def aminer_case_study(
+    num_background: int = 1200,
+    groups: int = 40,
+    seed: int = 11,
+    road_vertices: int = 2500,
+) -> CaseStudyNetwork:
+    """Build the Aminer+NA-like case-study road-social network."""
+    rng = np.random.default_rng(seed)
+    graph = AdjacencyGraph()
+    author_name: dict[int, str] = {}
+    keywords: dict[int, str] = {}
+    attrs: dict[int, np.ndarray] = {}
+
+    # --- the named DM community -------------------------------------
+    dm_ids = list(range(len(DM_AUTHORS)))
+    for i, name in enumerate(DM_AUTHORS):
+        graph.add_vertex(i)
+        author_name[i] = name
+        keywords[i] = "DM"
+        attrs[i] = _dm_attribute(i, rng)
+    # Dense collaboration inside the community, denser at the top.
+    for i in dm_ids:
+        for j in dm_ids:
+            if i < j:
+                p = 0.95 if j < 9 else (0.7 if j < 12 else 0.45)
+                if rng.random() < p:
+                    graph.add_edge(i, j)
+
+    # --- background research groups ----------------------------------
+    next_id = len(DM_AUTHORS)
+    group_sizes = rng.integers(12, 40, size=groups)
+    group_members: list[list[int]] = []
+    remaining = num_background
+    for size in group_sizes:
+        size = int(min(size, remaining))
+        if size < 3:
+            break
+        members = list(range(next_id, next_id + size))
+        field_name = FIELDS[rng.integers(len(FIELDS))]
+        for v in members:
+            graph.add_vertex(v)
+            author_name[v] = f"author-{v}"
+            keywords[v] = field_name
+        for a_idx, u in enumerate(members):
+            for v in members[a_idx + 1 :]:
+                if rng.random() < 0.35:
+                    graph.add_edge(u, v)
+        group_members.append(members)
+        next_id += size
+        remaining -= size
+    # Correlated background attributes, clearly below the DM tiers.
+    for members in group_members:
+        level = rng.uniform(1.0, 5.5)
+        for v in members:
+            attrs[v] = np.clip(
+                level + rng.normal(0.0, 0.5, size=4), 0.0, 10.0
+            )
+
+    # Sparse cross-group collaborations + links into the DM community.
+    all_groups = group_members + [dm_ids]
+    for _ in range(len(all_groups) * 6):
+        ga, gb = rng.integers(len(all_groups), size=2)
+        if ga == gb:
+            continue
+        u = all_groups[ga][rng.integers(len(all_groups[ga]))]
+        v = all_groups[gb][rng.integers(len(all_groups[gb]))]
+        if u != v:
+            graph.add_edge(u, v)
+
+    # --- NA-like road map; research groups cluster geographically ----
+    road = grid_road(road_vertices, seed=seed + 1, spacing=30.0)
+    locations = checkin_locations(
+        road, graph.vertices(), seed=seed + 2, groups=all_groups
+    )
+    social = SocialNetwork(graph, attrs, locations)
+    author_id = {name: i for i, name in author_name.items()}
+    return CaseStudyNetwork(
+        network=RoadSocialNetwork(road, social),
+        author_id=author_id,
+        author_name=author_name,
+        keywords=keywords,
+    )

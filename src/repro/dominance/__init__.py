@@ -1,0 +1,25 @@
+"""r-dominance: preference-bounded dominance tests and the Gd DAG."""
+
+from repro.dominance.relation import (
+    DOMINATED,
+    DOMINATES,
+    EQUAL,
+    INCOMPARABLE,
+    corner_scores,
+    dominance_case,
+    dominates_box,
+    r_dominates,
+)
+from repro.dominance.graph import DominanceGraph
+
+__all__ = [
+    "DOMINATES",
+    "DOMINATED",
+    "EQUAL",
+    "INCOMPARABLE",
+    "corner_scores",
+    "dominance_case",
+    "r_dominates",
+    "dominates_box",
+    "DominanceGraph",
+]

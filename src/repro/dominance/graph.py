@@ -1,0 +1,304 @@
+"""The r-dominance graph Gd of Section IV: a Hasse DAG over H^t_k.
+
+Vertices are streamed in non-increasing pivot-score order by the adapted
+BBS over an R-tree of the attribute vectors; each arrival is attached
+below its most specific r-dominators (transitive-reduction arcs only, as
+in Fig. 4(b)).  Pivot ordering guarantees no later vertex can r-dominate
+an earlier one, so the insertion order is a topological order — which the
+subset passes (leaves/tops within a vertex subset) exploit for O(V + E)
+sweeps.
+
+Tie handling: two vertices whose score functions coincide on all of R
+would r-dominate each other under the paper's weak inequality; we orient
+the arc toward the later vertex in the (deterministic) BBS order, keeping
+Gd acyclic.  This is the only deliberate deviation from the paper's
+definitions and is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dominance.relation import (
+    DOMINATES,
+    EQUAL,
+    SCORE_EPS,
+    corner_scores,
+    dominance_case,
+)
+from repro.errors import GeometryError
+from repro.geometry.halfspace import Halfspace, score_halfspace
+from repro.geometry.region import PreferenceRegion
+from repro.spatial.bbs import bbs_order
+from repro.spatial.rtree import RTree
+
+Vertex = int
+
+
+class DominanceGraph:
+    """Pairwise r-dominance relationships of a vertex set, as a Hasse DAG."""
+
+    def __init__(
+        self,
+        attributes: Mapping[Vertex, np.ndarray],
+        region: PreferenceRegion,
+        use_rtree: bool = True,
+    ) -> None:
+        if not attributes:
+            raise GeometryError("dominance graph needs at least one vertex")
+        self.region = region
+        self._corners = region.corners()
+        self._ids: list[Vertex] = sorted(attributes)
+        self._attrs = {
+            v: np.asarray(attributes[v], dtype=float) for v in self._ids
+        }
+        d = region.num_attributes
+        for v, x in self._attrs.items():
+            if x.shape != (d,):
+                raise GeometryError(
+                    f"vertex {v} has {x.shape[0]}-d attributes, expected {d}"
+                )
+        self._cscores = {
+            v: corner_scores(x, self._corners) for v, x in self._attrs.items()
+        }
+        self.parents: dict[Vertex, tuple[Vertex, ...]] = {}
+        self.children: dict[Vertex, list[Vertex]] = {v: [] for v in self._ids}
+        self.order: list[Vertex] = []
+        self._pos: dict[Vertex, int] = {}
+        self.roots: list[Vertex] = []
+        self._layer: dict[Vertex, int] = {}
+        self._halfspace_cache: dict[tuple[Vertex, Vertex], Halfspace] = {}
+        self._build(use_rtree)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _stream(self, use_rtree: bool) -> Iterable[Vertex]:
+        if use_rtree and len(self._ids) > 1:
+            points = np.asarray([self._attrs[v] for v in self._ids])
+            rtree = RTree(points, payloads=list(self._ids))
+            return (payload for payload, _score in bbs_order(rtree, self.region))
+        pivot = self.region.pivot()
+        if self.region.dim:
+            pivot_scores = {
+                v: float(
+                    x[-1] + np.dot(pivot, x[:-1] - x[-1])
+                ) for v, x in self._attrs.items()
+            }
+        else:
+            pivot_scores = {v: float(x[0]) for v, x in self._attrs.items()}
+        # Secondary key: corner-score sum, so that on an exact pivot tie a
+        # strict r-dominator still precedes its dominatee (its corner sum
+        # is strictly larger), keeping the insertion order topological.
+        corner_sums = {
+            v: float(cs.sum()) for v, cs in self._cscores.items()
+        }
+        return sorted(
+            self._ids,
+            key=lambda v: (-pivot_scores[v], -corner_sums[v], v),
+        )
+
+    def dag_dominates(self, u: Vertex, v: Vertex) -> bool:
+        """DAG orientation of r-dominance: true partial order + id tie-break."""
+        case = dominance_case(self._cscores[u], self._cscores[v], SCORE_EPS)
+        if case == DOMINATES:
+            return True
+        if case == EQUAL:
+            pu, pv = self._pos.get(u), self._pos.get(v)
+            if pu is not None and pv is not None:
+                return pu < pv
+            return u < v
+        return False
+
+    def _find_parents(
+        self, v: Vertex, cs_matrix: np.ndarray, count: int
+    ) -> list[Vertex]:
+        """Most specific r-dominators of ``v`` among inserted vertices.
+
+        One vectorized corner-score comparison finds *all* dominators D
+        (pivot ordering guarantees they were inserted earlier; weak
+        inequality covers score-equal twins, oriented by insertion
+        order).  The Hasse parents are the minimal elements of D: every
+        non-minimal dominator is an ancestor of a deeper one, and all
+        ancestors of a dominator are dominators themselves (transitivity),
+        so the non-minimal set is exactly the union of the Hasse parents
+        of D's members.
+        """
+        if count == 0:
+            return []
+        cs_v = self._cscores[v]
+        diff = cs_matrix[:count] - cs_v
+        dominator_rows = np.nonzero(
+            np.all(diff >= -SCORE_EPS, axis=1)
+        )[0]
+        if dominator_rows.size == 0:
+            return []
+        dominators = [self.order[i] for i in dominator_rows]
+        non_minimal: set[Vertex] = set()
+        for d in dominators:
+            non_minimal.update(self.parents[d])
+        return [d for d in dominators if d not in non_minimal]
+
+    def _build(self, use_rtree: bool) -> None:
+        n = len(self._ids)
+        p = max(1, self._corners.shape[0])
+        cs_matrix = np.empty((n, p))
+        for v in self._stream(use_rtree):
+            count = len(self.order)
+            parents = self._find_parents(v, cs_matrix, count)
+            self._pos[v] = count
+            self.order.append(v)
+            cs_matrix[count] = self._cscores[v]
+            self.parents[v] = tuple(parents)
+            for par in parents:
+                self.children[par].append(v)
+            if not parents:
+                self.roots.append(v)
+            self._layer[v] = (
+                0 if not parents else 1 + max(self._layer[p] for p in parents)
+            )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._ids)
+
+    def attribute(self, v: Vertex) -> np.ndarray:
+        return self._attrs[v]
+
+    def layer(self, v: Vertex) -> int:
+        """Depth of ``v`` in Gd (roots at layer 0); the l(v) of Eq. 3/4."""
+        return self._layer[v]
+
+    def max_layer(self) -> int:
+        return max(self._layer.values())
+
+    def score_at(self, v: Vertex, w: np.ndarray) -> float:
+        x = self._attrs[v]
+        if w.shape[0] == 0:
+            return float(x[0])
+        return float(x[-1] + np.dot(w, x[:-1] - x[-1]))
+
+    def scores_at(self, w: np.ndarray, subset: Iterable[Vertex]) -> dict[Vertex, float]:
+        return {v: self.score_at(v, w) for v in subset}
+
+    def halfspace(self, u: Vertex, v: Vertex) -> Halfspace:
+        """Cached half-space where ``S(u) >= S(v)`` (Section V-B caching)."""
+        key = (u, v)
+        h = self._halfspace_cache.get(key)
+        if h is None:
+            h = score_halfspace(self._attrs[u], self._attrs[v])
+            self._halfspace_cache[key] = h
+        return h
+
+    # ------------------------------------------------------------------
+    # subset sweeps (all O(V + E_hasse) using the topological order)
+    # ------------------------------------------------------------------
+    def has_descendant_in(self, subset: set[Vertex]) -> dict[Vertex, bool]:
+        """For every vertex: does any strict Hasse-descendant lie in subset?"""
+        flag: dict[Vertex, bool] = {}
+        for v in reversed(self.order):
+            flag[v] = any(
+                (c in subset) or flag[c] for c in self.children[v]
+            )
+        return flag
+
+    def has_ancestor_in(self, subset: set[Vertex]) -> dict[Vertex, bool]:
+        """For every vertex: does any strict Hasse-ancestor lie in subset?"""
+        flag: dict[Vertex, bool] = {}
+        for v in self.order:
+            flag[v] = any((p in subset) or flag[p] for p in self.parents[v])
+        return flag
+
+    def leaves_within(self, subset: Iterable[Vertex]) -> list[Vertex]:
+        """Bottom layer of Gd[subset]: members dominating no other member.
+
+        These are the only possible smallest-score vertices of the subset
+        (lb(Ge) in Section VI-B).
+        """
+        s = set(subset)
+        flag = self.has_descendant_in(s)
+        return sorted(v for v in s if not flag[v])
+
+    def tops_within(self, subset: Iterable[Vertex]) -> list[Vertex]:
+        """Top layer of Gd[subset]: members with r-dominance count 0 inside.
+
+        lt(Gc) in Section VI-B: every subset member is (weakly) dominated
+        by some top-layer member.
+        """
+        s = set(subset)
+        flag = self.has_ancestor_in(s)
+        return sorted(v for v in s if not flag[v])
+
+    def ancestors(self, v: Vertex) -> set[Vertex]:
+        """All strict Hasse-ancestors (the r-dominators) of ``v``."""
+        out: set[Vertex] = set()
+        stack = list(self.parents[v])
+        while stack:
+            u = stack.pop()
+            if u not in out:
+                out.add(u)
+                stack.extend(self.parents[u])
+        return out
+
+    def descendants(self, v: Vertex) -> set[Vertex]:
+        """All strict Hasse-descendants (vertices ``v`` r-dominates)."""
+        out: set[Vertex] = set()
+        stack = list(self.children[v])
+        while stack:
+            u = stack.pop()
+            if u not in out:
+                out.add(u)
+                stack.extend(self.children[u])
+        return out
+
+    def r_dominance_count(self, v: Vertex) -> int:
+        """Number of vertices that r-dominate ``v`` (Section IV-B)."""
+        return len(self.ancestors(v))
+
+    def num_arcs(self) -> int:
+        return sum(len(c) for c in self.children.values())
+
+    def to_dot(self, labels: Mapping[Vertex, str] | None = None) -> str:
+        """Graphviz DOT rendering of Gd (layers as ranks, like Fig. 4(b))."""
+        labels = labels or {}
+        lines = ["digraph Gd {", "  rankdir=TB;"]
+        by_layer: dict[int, list[Vertex]] = {}
+        for v in self._ids:
+            by_layer.setdefault(self._layer[v], []).append(v)
+        for layer in sorted(by_layer):
+            names = " ".join(f'"{v}"' for v in sorted(by_layer[layer]))
+            lines.append(f"  {{ rank=same; {names} }}")
+        for v in self._ids:
+            label = labels.get(v, str(v))
+            lines.append(f'  "{v}" [label="{label}"];')
+        for v, kids in self.children.items():
+            for c in kids:
+                lines.append(f'  "{v}" -> "{c}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DominanceGraph(|V|={self.num_vertices}, arcs={self.num_arcs()},"
+            f" depth={self.max_layer()})"
+        )
+
+
+def build_dominance_graph(
+    vertices: Sequence[Vertex],
+    attributes: Mapping[Vertex, np.ndarray],
+    region: PreferenceRegion,
+    use_rtree: bool = True,
+) -> DominanceGraph:
+    """Convenience constructor over a vertex subset."""
+    return DominanceGraph(
+        {v: attributes[v] for v in vertices}, region, use_rtree=use_rtree
+    )

@@ -1,0 +1,79 @@
+"""The r-dominance test of Section IV-A.
+
+``S(v) >= S(v')`` is a half-space of the preference domain; against a
+convex region R there are three cases (Fig. 3): the half-space covers R
+(v r-dominates v'), misses R's interior (v is r-dominated), or cuts R
+(r-incomparable).  Because R is convex with known polytope vertices, the
+test reduces to evaluating both scores at every vertex of R — O(p·d) for
+p polytope vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.region import PreferenceRegion
+
+#: Outcomes of a pairwise r-dominance test.
+DOMINATES = "dominates"
+DOMINATED = "dominated"
+INCOMPARABLE = "incomparable"
+EQUAL = "equal"
+
+#: Score-comparison tolerance.
+SCORE_EPS = 1e-9
+
+
+def corner_scores(x: np.ndarray, corners: np.ndarray) -> np.ndarray:
+    """Scores of attribute vector ``x`` at each region corner.
+
+    ``corners`` has shape (p, d-1); the result has shape (p,).  Affine
+    reduced-form evaluation: ``S = x_d + corners @ (x[:-1] - x_d)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if corners.shape[1] == 0:
+        return np.full(corners.shape[0], float(x[0]))
+    return x[-1] + corners @ (x[:-1] - x[-1])
+
+
+def dominance_case(
+    scores_u: np.ndarray, scores_v: np.ndarray, eps: float = SCORE_EPS
+) -> str:
+    """Classify u against v from their per-corner score arrays."""
+    diff = scores_u - scores_v
+    if np.all(np.abs(diff) <= eps):
+        return EQUAL
+    if np.all(diff >= -eps):
+        return DOMINATES
+    if np.all(diff <= eps):
+        return DOMINATED
+    return INCOMPARABLE
+
+
+def r_dominates(
+    x_u: np.ndarray,
+    x_v: np.ndarray,
+    region: PreferenceRegion,
+    eps: float = SCORE_EPS,
+) -> bool:
+    """True iff u's score is ≥ v's everywhere on R (weak r-dominance)."""
+    corners = region.corners()
+    case = dominance_case(
+        corner_scores(x_u, corners), corner_scores(x_v, corners), eps
+    )
+    return case in (DOMINATES, EQUAL)
+
+
+def dominates_box(
+    x_u: np.ndarray,
+    box_upper: np.ndarray,
+    region: PreferenceRegion,
+    eps: float = SCORE_EPS,
+) -> bool:
+    """Vertex-to-MBB test: u r-dominates every point of the box.
+
+    Weights are positive throughout R, so the box's upper-right corner
+    maximizes the score over the box for every weight in R; dominating the
+    corner dominates the whole box (Section IV-B, adaptation (1)).
+    """
+    return r_dominates(x_u, np.asarray(box_upper, dtype=float), region, eps)

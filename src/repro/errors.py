@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph operation (missing vertex/edge, ...)."""
+
+
+class QueryError(ReproError):
+    """A community-search query is malformed or unsatisfiable upfront."""
+
+
+class GeometryError(ReproError):
+    """A preference-domain geometry operation failed (empty region, ...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received inconsistent parameters."""

@@ -1,0 +1,29 @@
+"""Preference-domain geometry: half-spaces, convex cells, arrangements.
+
+The preference domain is the (d-1)-dimensional reduced weight space of
+Section II-C: ``w = (w_1, ..., w_{d-1})`` with ``w_d = 1 - sum(w)``.
+"""
+
+from repro.geometry.halfspace import (
+    Halfspace,
+    expand_weights,
+    reduce_weights,
+    score,
+    score_halfspace,
+)
+from repro.geometry.cell import Cell
+from repro.geometry.region import PreferenceRegion
+from repro.geometry.partition_tree import PartitionTree
+from repro.geometry.preference_learning import LearnedRegion
+
+__all__ = [
+    "Halfspace",
+    "score",
+    "score_halfspace",
+    "expand_weights",
+    "reduce_weights",
+    "Cell",
+    "PreferenceRegion",
+    "PartitionTree",
+    "LearnedRegion",
+]

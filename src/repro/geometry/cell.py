@@ -1,0 +1,264 @@
+"""Convex cells of the preference domain.
+
+A cell is an intersection of half-spaces: the region R's bounding box plus
+the score-comparison half-spaces inserted by the search.  Representation
+is dimension-adaptive for speed:
+
+* ``dim == 1`` — exact interval arithmetic (no LP),
+* ``dim == 2`` — exact convex-polygon clipping (Sutherland–Hodgman); this
+  is the d = 3 default of every benchmark, and side-of tests reduce to
+  evaluating the hyperplane at the polygon's vertices,
+* ``dim >= 3`` — H-representation with a Chebyshev-centre LP (scipy HiGHS)
+  for emptiness and interior points.
+
+Cells are immutable; refinement returns new cells.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import GeometryError
+from repro.geometry.halfspace import EPS, Halfspace
+
+#: A cell thinner than this (inscribed radius / interval half-width) is
+#: considered empty; polygon areas below AREA_TOL likewise.
+EMPTY_TOL = 1e-9
+AREA_TOL = 1e-14
+
+
+def _clip_polygon(verts: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
+    """Sutherland–Hodgman: keep the part of a convex polygon with a·w <= b."""
+    if len(verts) == 0:
+        return verts
+    out: list[np.ndarray] = []
+    slack = b - verts @ a  # >= 0 means inside
+    n = len(verts)
+    for i in range(n):
+        cur, nxt = verts[i], verts[(i + 1) % n]
+        s_cur, s_nxt = slack[i], slack[(i + 1) % n]
+        if s_cur >= -EPS:
+            out.append(cur)
+        if (s_cur > EPS and s_nxt < -EPS) or (s_cur < -EPS and s_nxt > EPS):
+            t = s_cur / (s_cur - s_nxt)
+            out.append(cur + t * (nxt - cur))
+    if not out:
+        return np.zeros((0, 2))
+    # Deduplicate consecutive near-identical vertices.
+    dedup: list[np.ndarray] = []
+    for p in out:
+        if not dedup or np.max(np.abs(p - dedup[-1])) > EPS:
+            dedup.append(p)
+    if len(dedup) > 1 and np.max(np.abs(dedup[0] - dedup[-1])) <= EPS:
+        dedup.pop()
+    return np.asarray(dedup)
+
+
+def _polygon_area(verts: np.ndarray) -> float:
+    if len(verts) < 3:
+        return 0.0
+    x, y = verts[:, 0], verts[:, 1]
+    return 0.5 * abs(
+        float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    )
+
+
+class Cell:
+    """Immutable convex cell = conjunction of half-space constraints."""
+
+    __slots__ = ("dim", "constraints", "_verts", "_cheb")
+
+    def __init__(
+        self,
+        dim: int,
+        constraints: tuple[Halfspace, ...],
+        _verts: np.ndarray | None = None,
+    ) -> None:
+        self.dim = dim
+        self.constraints = constraints
+        self._verts = _verts
+        self._cheb: tuple[np.ndarray, float] | None = None
+
+    @staticmethod
+    def from_region(region) -> Cell:
+        """The whole region R as a cell."""
+        dim = region.dim
+        constraints = tuple(region.halfspaces())
+        verts: np.ndarray | None = None
+        if dim == 1:
+            verts = np.asarray([[region.lows[0]], [region.highs[0]]])
+        elif dim == 2:
+            (l1, l2), (h1, h2) = region.lows, region.highs
+            verts = np.asarray([[l1, l2], [h1, l2], [h1, h2], [l1, h2]])
+        return Cell(dim, constraints, verts)
+
+    # ------------------------------------------------------------------
+    def with_constraint(self, h: Halfspace) -> Cell:
+        if h.dim != self.dim:
+            raise GeometryError(
+                f"half-space dim {h.dim} != cell dim {self.dim}"
+            )
+        verts = None
+        if self._verts is not None:
+            if h.is_degenerate:
+                verts = (
+                    self._verts
+                    if h.degenerate_everything
+                    else np.zeros((0, self.dim))
+                )
+            elif self.dim == 1:
+                a, b = h.a[0], h.b
+                lo, hi = float(self._verts[0, 0]), float(self._verts[1, 0])
+                if a > 0:
+                    hi = min(hi, b / a)
+                else:
+                    lo = max(lo, b / a)
+                verts = (
+                    np.asarray([[lo], [hi]])
+                    if lo <= hi
+                    else np.zeros((0, 1))
+                )
+            else:
+                verts = _clip_polygon(
+                    self._verts, np.asarray(h.a, dtype=float), h.b
+                )
+        return Cell(self.dim, self.constraints + (h,), verts)
+
+    # ------------------------------------------------------------------
+    # emptiness / interior (dimension-adaptive)
+    # ------------------------------------------------------------------
+    def is_empty(self, tol: float = EMPTY_TOL) -> bool:
+        if self._verts is not None:
+            if self.dim == 1:
+                if len(self._verts) == 0:
+                    return True
+                return (self._verts[1, 0] - self._verts[0, 0]) / 2.0 < tol
+            return _polygon_area(self._verts) < AREA_TOL
+        return self._chebyshev()[1] < tol
+
+    def interior_point(self) -> np.ndarray:
+        """A point well inside the cell (centroid / Chebyshev centre)."""
+        if self._verts is not None:
+            if len(self._verts) == 0:
+                raise GeometryError("interior point of an empty cell")
+            return self._verts.mean(axis=0)
+        center, radius = self._chebyshev()
+        if radius < 0:
+            raise GeometryError("interior point of an empty cell")
+        return center
+
+    def radius(self) -> float:
+        """Size proxy: interval half-width, polygon inradius bound, or
+        Chebyshev radius."""
+        if self._verts is not None:
+            if len(self._verts) == 0:
+                return -math.inf
+            if self.dim == 1:
+                return float(self._verts[1, 0] - self._verts[0, 0]) / 2.0
+            area = _polygon_area(self._verts)
+            per = float(
+                np.linalg.norm(
+                    np.roll(self._verts, -1, axis=0) - self._verts, axis=1
+                ).sum()
+            )
+            return area / per if per > 0 else 0.0
+        return self._chebyshev()[1]
+
+    def vertices(self) -> np.ndarray | None:
+        """Explicit vertices when available (dim <= 2), else None."""
+        return self._verts
+
+    def contains(self, w: np.ndarray, tol: float = 1e-7) -> bool:
+        return all(h.contains(w, tol) for h in self.constraints)
+
+    # ------------------------------------------------------------------
+    def side_of(self, h: Halfspace) -> str:
+        """Position of this cell against half-space ``h``.
+
+        Returns ``"inside"`` (cell ⊆ h), ``"outside"`` (cell ∩ int(h) = ∅)
+        or ``"split"`` (the boundary hyperplane crosses the cell) — the
+        three cases of Fig. 3.
+        """
+        if h.is_degenerate:
+            return "inside" if h.degenerate_everything else "outside"
+        if self._verts is not None:
+            if len(self._verts) == 0:
+                return "inside"  # empty cell: vacuous either way
+            slack = h.b - self._verts @ np.asarray(h.a, dtype=float)
+            if np.all(slack >= -EPS):
+                return "inside"
+            if np.all(slack <= EPS):
+                return "outside"
+            # The hyperplane separates vertices; only a genuinely 2-sided
+            # cut counts as a split (slivers thinner than tol are absorbed).
+            inside = self.with_constraint(h)
+            outside = self.with_constraint(h.complement())
+            if inside.is_empty():
+                return "outside"
+            if outside.is_empty():
+                return "inside"
+            return "split"
+        if self.with_constraint(h.complement()).is_empty():
+            return "inside"
+        if self.with_constraint(h).is_empty():
+            return "outside"
+        return "split"
+
+    def split(self, h: Halfspace) -> tuple[Cell, Cell]:
+        """Cells (inside-h, outside-h); call only when side_of == 'split'."""
+        return self.with_constraint(h), self.with_constraint(h.complement())
+
+    # ------------------------------------------------------------------
+    # LP path (dim >= 3 or dim == 0)
+    # ------------------------------------------------------------------
+    def _chebyshev(self) -> tuple[np.ndarray, float]:
+        """Centre and radius of the largest inscribed ball.
+
+        Radius is -inf for an infeasible system, +inf for an unbounded one
+        (cannot happen for sub-cells of a bounded region, but handled).
+        """
+        if self._cheb is not None:
+            return self._cheb
+        if self.dim == 0:
+            feasible = all(
+                h.b >= -EPS for h in self.constraints if h.is_degenerate
+            )
+            radius = math.inf if feasible else -math.inf
+            self._cheb = (np.zeros(0), radius)
+            return self._cheb
+        rows = []
+        rhs = []
+        for h in self.constraints:
+            a = np.asarray(h.a, dtype=float)
+            norm = float(np.linalg.norm(a))
+            if norm <= EPS:
+                if h.b < -EPS:
+                    self._cheb = (np.zeros(self.dim), -math.inf)
+                    return self._cheb
+                continue
+            rows.append(np.append(a, norm))
+            rhs.append(h.b)
+        if not rows:
+            self._cheb = (np.zeros(self.dim), math.inf)
+            return self._cheb
+        c = np.zeros(self.dim + 1)
+        c[-1] = -1.0  # maximize the radius
+        bounds = [(None, None)] * self.dim + [(0.0, None)]
+        res = linprog(
+            c,
+            A_ub=np.vstack(rows),
+            b_ub=np.asarray(rhs),
+            bounds=bounds,
+            method="highs",
+        )
+        if not res.success:
+            self._cheb = (np.zeros(self.dim), -math.inf)
+        else:
+            self._cheb = (res.x[:-1].copy(), float(res.x[-1]))
+        return self._cheb
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cell(dim={self.dim}, m={len(self.constraints)})"

@@ -1,0 +1,120 @@
+"""Half-spaces of the reduced preference domain and score arithmetic.
+
+A weight vector ``w`` has ``d`` positive components summing to one; the
+paper drops the last one, so all geometry lives in the reduced space of
+dimension ``r = d - 1``.  For attribute vectors ``x`` the score is
+
+    S(x; w) = sum_i w_i * x_i
+            = x_d + sum_{i<d} w_i * (x_i - x_d)        (reduced form)
+
+which is affine in the reduced ``w`` — hence every pairwise score
+comparison ``S(u) >= S(v)`` is a half-space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+#: Geometric tolerance shared by the whole geometry stack.
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The closed half-space ``{w : a . w <= b}`` in reduced weight space.
+
+    Instances are normalized so that ``|a| == 1`` whenever ``a`` is not
+    (numerically) zero; degenerate half-spaces (``a ~ 0``) represent
+    "everything" (b >= 0) or "nothing" (b < 0).
+    """
+
+    a: tuple[float, ...]
+    b: float
+
+    @staticmethod
+    def make(a: np.ndarray, b: float) -> Halfspace:
+        a = np.asarray(a, dtype=float)
+        norm = float(np.linalg.norm(a))
+        if norm > EPS:
+            a = a / norm
+            b = float(b) / norm
+        return Halfspace(tuple(float(x) for x in a), float(b))
+
+    @property
+    def dim(self) -> int:
+        return len(self.a)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the boundary hyperplane does not exist (a ~ 0)."""
+        return float(np.linalg.norm(self.a)) <= EPS
+
+    @property
+    def degenerate_everything(self) -> bool:
+        """For a degenerate half-space: does it contain the whole space?"""
+        return self.b >= -EPS
+
+    def complement(self) -> Halfspace:
+        """The closed complement ``{w : a . w >= b}``."""
+        return Halfspace(tuple(-x for x in self.a), -self.b)
+
+    def contains(self, w: np.ndarray, tol: float = EPS) -> bool:
+        return float(np.dot(self.a, w)) <= self.b + tol
+
+    def signed_slack(self, w: np.ndarray) -> float:
+        """``b - a . w`` (positive inside, negative outside)."""
+        return self.b - float(np.dot(self.a, w))
+
+
+def score(x: np.ndarray, w_reduced: np.ndarray) -> float:
+    """Score of attribute vector ``x`` at reduced weight ``w_reduced``."""
+    x = np.asarray(x, dtype=float)
+    w = np.asarray(w_reduced, dtype=float)
+    d = x.shape[0]
+    if w.shape[0] != d - 1:
+        raise GeometryError(
+            f"reduced weight has dim {w.shape[0]}, expected {d - 1}"
+        )
+    if d == 1:
+        return float(x[0])
+    return float(x[-1] + np.dot(w, x[:-1] - x[-1]))
+
+
+def expand_weights(w_reduced: np.ndarray) -> np.ndarray:
+    """Recover the full d-dimensional weight vector (appends 1 - sum)."""
+    w = np.asarray(w_reduced, dtype=float)
+    return np.append(w, 1.0 - float(w.sum()))
+
+
+def reduce_weights(w_full: np.ndarray) -> np.ndarray:
+    """Drop the last weight; validates that weights sum to one."""
+    w = np.asarray(w_full, dtype=float)
+    if abs(float(w.sum()) - 1.0) > 1e-6:
+        raise GeometryError(f"weights must sum to 1, got {w.sum()!r}")
+    return w[:-1]
+
+
+def score_gap_coefficients(
+    x_u: np.ndarray, x_v: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Coefficients (g, c0) with ``S(u) - S(v) = c0 + g . w`` (reduced w)."""
+    x_u = np.asarray(x_u, dtype=float)
+    x_v = np.asarray(x_v, dtype=float)
+    if x_u.shape != x_v.shape:
+        raise GeometryError("attribute vectors must have equal dimension")
+    c0 = float(x_u[-1] - x_v[-1])
+    g = (x_u[:-1] - x_u[-1]) - (x_v[:-1] - x_v[-1])
+    return g, c0
+
+
+def score_halfspace(x_u: np.ndarray, x_v: np.ndarray) -> Halfspace:
+    """Half-space of the preference domain where ``S(u) >= S(v)``.
+
+    ``S(u) - S(v) = c0 + g . w >= 0``  ⇔  ``(-g) . w <= c0``.
+    """
+    g, c0 = score_gap_coefficients(x_u, x_v)
+    return Halfspace.make(-g, c0)

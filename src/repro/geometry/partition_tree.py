@@ -1,0 +1,69 @@
+"""Algorithm 2: the binary tree of half-space arrangements.
+
+``PartitionTree`` maintains a recursive subdivision of an initial cell
+(a partition ρ of R).  Inserting a hyperplane refines exactly the leaves
+it crosses; leaves fully covered by one side are left untouched, mirroring
+lines 1-8 of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.geometry.cell import Cell
+from repro.geometry.halfspace import Halfspace
+
+
+class _PNode:
+    __slots__ = ("cell", "plane", "left", "right")
+
+    def __init__(self, cell: Cell) -> None:
+        self.cell = cell
+        self.plane: Halfspace | None = None
+        self.left: _PNode | None = None  # inside the inserted half-space
+        self.right: _PNode | None = None  # outside it
+
+
+class PartitionTree:
+    """Binary arrangement index over a root cell."""
+
+    def __init__(self, root_cell: Cell) -> None:
+        self._root = _PNode(root_cell)
+        self._num_leaves = 1
+
+    @property
+    def num_leaves(self) -> int:
+        return self._num_leaves
+
+    def insert(self, h: Halfspace) -> None:
+        """Refine the partition by the boundary hyperplane of ``h``."""
+        self._insert(self._root, h)
+
+    def _insert(self, node: _PNode, h: Halfspace) -> None:
+        if node.left is None:
+            side = node.cell.side_of(h)
+            if side == "split":
+                inside, outside = node.cell.split(h)
+                node.plane = h
+                node.left = _PNode(inside)
+                node.right = _PNode(outside)
+                self._num_leaves += 1
+            # "inside"/"outside": leaf covered by one side — nothing to do.
+            return
+        # Internal node: recurse only into children the hyperplane crosses.
+        side = node.cell.side_of(h)
+        if side != "split":
+            return
+        self._insert(node.left, h)
+        self._insert(node.right, h)
+
+    def leaves(self) -> Iterator[Cell]:
+        """All leaf cells (a partition of the root cell)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.left is None:
+                yield node.cell
+            else:
+                stack.append(node.left)
+                stack.append(node.right)

@@ -1,0 +1,191 @@
+"""Learning the region R from pairwise feedback.
+
+The paper assumes R is given ("there are already preference learning
+techniques (e.g., [11]) to generate such a region instead of a specific
+weight vector", Section I, footnote 1).  This module supplies that
+substrate: starting from the whole preference domain (or any box), each
+user judgement "item a is preferable to item b" adds the half-space
+``S(a) >= S(b)``, monotonically shrinking a convex estimate of the
+user's weight region — the adaptive pairwise-comparison scheme of Qian
+et al. [11] in its deterministic core.
+
+The learned :class:`LearnedRegion` exposes a bounding
+:class:`PreferenceRegion` box ready to be passed to ``mac_search``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.cell import Cell
+from repro.geometry.halfspace import EPS, Halfspace, score_halfspace
+from repro.geometry.region import PreferenceRegion
+
+
+class LearnedRegion:
+    """Convex weight-region estimate refined by pairwise comparisons."""
+
+    def __init__(self, dimensions: int, margin: float = 0.02) -> None:
+        """Start from (almost) the whole preference domain.
+
+        ``dimensions`` is the number of attributes d (the region lives in
+        the reduced (d-1)-space); ``margin`` keeps every weight — the
+        dropped d-th one included — at least that far from zero, matching
+        the paper's open-simplex assumption.  The initial estimate is the
+        full margin-shrunk simplex, not a box.
+        """
+        if dimensions < 2:
+            raise GeometryError("preference learning needs d >= 2")
+        if not 0 < margin < 1.0 / (dimensions + 1):
+            raise GeometryError(
+                f"margin must be in (0, {1.0 / (dimensions + 1):.3f}) "
+                f"for d={dimensions}"
+            )
+        r = dimensions - 1
+        self._dims = dimensions
+        self._margin = margin
+        constraints = []
+        for i in range(r):
+            axis = np.zeros(r)
+            axis[i] = -1.0
+            constraints.append(Halfspace.make(axis, -margin))  # w_i >= m
+        constraints.append(
+            Halfspace.make(np.ones(r), 1.0 - margin)  # sum w <= 1 - m
+        )
+        verts = None
+        if r == 1:
+            verts = np.asarray([[margin], [1.0 - margin]])
+        elif r == 2:
+            verts = np.asarray(
+                [
+                    [margin, margin],
+                    [1.0 - 2 * margin, margin],
+                    [margin, 1.0 - 2 * margin],
+                ]
+            )
+        self._cell = Cell(r, tuple(constraints), verts)
+        self._comparisons: list[tuple[np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        return self._dims
+
+    @property
+    def num_comparisons(self) -> int:
+        return len(self._comparisons)
+
+    def is_consistent(self) -> bool:
+        """False once the comparisons admit no weight vector at all."""
+        return not self._cell.is_empty()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, preferred: Sequence[float], other: Sequence[float]
+    ) -> bool:
+        """Record "``preferred`` beats ``other``"; returns consistency.
+
+        Each observation intersects the current estimate with the
+        half-space where the preferred item scores at least as high.
+        Inconsistent feedback (empty intersection) is *rejected* — the
+        estimate keeps its last consistent state and False is returned.
+        """
+        a = np.asarray(preferred, dtype=float)
+        b = np.asarray(other, dtype=float)
+        if a.shape != (self._dims,) or b.shape != (self._dims,):
+            raise GeometryError(
+                f"items must have {self._dims} attributes"
+            )
+        h = score_halfspace(a, b)
+        refined = self._cell.with_constraint(h)
+        if refined.is_empty():
+            return False
+        self._cell = refined
+        self._comparisons.append((a, b))
+        return True
+
+    # ------------------------------------------------------------------
+    def center(self) -> np.ndarray:
+        """The most plausible single weight vector (reduced form)."""
+        return self._cell.interior_point()
+
+    def contains(self, w_reduced: np.ndarray) -> bool:
+        return self._cell.contains(np.asarray(w_reduced, dtype=float))
+
+    def bounding_region(self, min_side: float = 1e-3) -> PreferenceRegion:
+        """Axis-parallel box around the current estimate.
+
+        The box is what ``mac_search`` consumes; it over-approximates the
+        convex estimate where possible and is shrunk only when the box
+        corners would leave the weight simplex (a box must satisfy
+        ``sum(highs) < 1`` to be a valid :class:`PreferenceRegion`).
+        """
+        r = self._dims - 1
+        verts = self._cell.vertices()
+        if verts is not None and len(verts):
+            lo = verts.min(axis=0)
+            hi = verts.max(axis=0)
+        else:
+            # LP backend (r >= 3): probe the support in axis directions.
+            lo = np.empty(r)
+            hi = np.empty(r)
+            for i in range(r):
+                lo[i], hi[i] = self._axis_support(i)
+        center = (lo + hi) / 2.0
+        half = np.maximum((hi - lo) / 2.0, min_side / 2.0)
+        eps = self._margin / 2.0
+        lo = np.maximum(center - half, eps)
+        hi = np.maximum(center + half, lo + 1e-9)
+        hi = np.minimum(hi, 1.0 - eps)
+        # Keep the dropped weight positive: scale highs toward lows until
+        # the corner sum fits inside the simplex.
+        total = float(hi.sum())
+        if total >= 1.0 - eps:
+            budget = (1.0 - eps) - float(lo.sum())
+            if budget <= 0:
+                raise GeometryError(
+                    "estimate degenerated outside the weight simplex"
+                )
+            alpha = min(1.0, 0.999 * budget / (total - float(lo.sum())))
+            hi = lo + alpha * (hi - lo)
+        return PreferenceRegion(lo, np.maximum(hi, lo + 1e-12))
+
+    def _axis_support(self, axis: int) -> tuple[float, float]:
+        """Min/max of one coordinate over the estimate (via LP)."""
+        from scipy.optimize import linprog
+
+        r = self._dims - 1
+        rows, rhs = [], []
+        for h in self._cell.constraints:
+            a = np.asarray(h.a, dtype=float)
+            if np.linalg.norm(a) > EPS:
+                rows.append(a)
+                rhs.append(h.b)
+        c = np.zeros(r)
+        c[axis] = 1.0
+        out = []
+        for sign in (1.0, -1.0):
+            res = linprog(
+                sign * c,
+                A_ub=np.vstack(rows),
+                b_ub=np.asarray(rhs),
+                bounds=[(None, None)] * r,
+                method="highs",
+            )
+            if not res.success:
+                raise GeometryError("inconsistent preference state")
+            out.append(float(res.x[axis]))
+        return min(out), max(out)
+
+    def halfspaces(self) -> list[Halfspace]:
+        """All accumulated constraints (base box + comparisons)."""
+        return list(self._cell.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LearnedRegion(d={self._dims}, "
+            f"comparisons={self.num_comparisons})"
+        )

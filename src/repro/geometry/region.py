@@ -1,0 +1,129 @@
+"""The region of interest R: an axis-parallel box in the preference domain.
+
+R approximates the user's uncertain weight vector (Section II-C).  The box
+must lie strictly inside the weight simplex (all weights positive, sum
+below one), which makes its corner set exactly the polytope vertices used
+by the O(pd) r-dominance test of Section IV-A.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.halfspace import EPS, Halfspace
+
+
+class PreferenceRegion:
+    """Axis-parallel hyper-rectangle ``[lo_i, hi_i]`` in reduced w-space.
+
+    ``dim == 0`` (i.e. d == 1 attributes) is supported: the region is the
+    single empty weight tuple and all geometry degenerates gracefully.
+    """
+
+    def __init__(
+        self, lows: Sequence[float] = (), highs: Sequence[float] = ()
+    ) -> None:
+        lows_arr = np.asarray(lows, dtype=float)
+        highs_arr = np.asarray(highs, dtype=float)
+        if lows_arr.shape != highs_arr.shape:
+            raise GeometryError("lows/highs must have the same length")
+        if lows_arr.ndim > 1:
+            raise GeometryError("region bounds must be 1-d sequences")
+        if np.any(lows_arr > highs_arr):
+            raise GeometryError("region must satisfy lo <= hi per axis")
+        if lows_arr.size:
+            if np.any(lows_arr <= 0.0) or np.any(highs_arr >= 1.0):
+                raise GeometryError(
+                    "region must lie strictly inside (0, 1) per axis"
+                )
+            if float(highs_arr.sum()) >= 1.0:
+                raise GeometryError(
+                    "region must keep the dropped weight positive "
+                    "(sum of highs must be < 1)"
+                )
+        self.lows = lows_arr
+        self.highs = highs_arr
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return int(self.lows.size)
+
+    @property
+    def num_attributes(self) -> int:
+        return self.dim + 1
+
+    @staticmethod
+    def centered(center: Sequence[float], side: float) -> PreferenceRegion:
+        """Box of side length ``side`` centered at ``center`` (clipped)."""
+        c = np.asarray(center, dtype=float)
+        half = side / 2.0
+        return PreferenceRegion(c - half, c + half)
+
+    @staticmethod
+    def from_sigma(
+        center: Sequence[float], sigma: float
+    ) -> PreferenceRegion:
+        """Paper parameterization: side length = ``sigma`` (fraction of axis).
+
+        ``sigma`` is the percentage-of-axis-length parameter σ of Table III
+        expressed as a fraction (0.01 for "1%").
+        """
+        return PreferenceRegion.centered(center, sigma)
+
+    # ------------------------------------------------------------------
+    def corners(self) -> np.ndarray:
+        """All 2^dim corner points, shape ``(2^dim, dim)``."""
+        if self.dim == 0:
+            return np.zeros((1, 0))
+        axes = [(lo, hi) for lo, hi in zip(self.lows, self.highs)]
+        pts = list(itertools.product(*axes))
+        return np.asarray(pts, dtype=float)
+
+    def pivot(self) -> np.ndarray:
+        """Mean of the corner points (Section IV-B's pivot vector)."""
+        return (self.lows + self.highs) / 2.0 if self.dim else np.zeros(0)
+
+    def center(self) -> np.ndarray:
+        return self.pivot()
+
+    def contains(self, w: np.ndarray, tol: float = EPS) -> bool:
+        w = np.asarray(w, dtype=float)
+        if w.shape != (self.dim,):
+            return False
+        return bool(
+            np.all(w >= self.lows - tol) and np.all(w <= self.highs + tol)
+        )
+
+    def halfspaces(self) -> list[Halfspace]:
+        """Bounding half-spaces (2 per axis) defining the box."""
+        result = []
+        for i in range(self.dim):
+            lo_normal = np.zeros(self.dim)
+            lo_normal[i] = -1.0
+            result.append(Halfspace.make(lo_normal, -self.lows[i]))
+            hi_normal = np.zeros(self.dim)
+            hi_normal[i] = 1.0
+            result.append(Halfspace.make(hi_normal, self.highs[i]))
+        return result
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Uniform samples inside the box, shape ``(n, dim)``."""
+        if self.dim == 0:
+            return np.zeros((n, 0))
+        return rng.uniform(self.lows, self.highs, size=(n, self.dim))
+
+    def volume(self) -> float:
+        if self.dim == 0:
+            return 1.0
+        return float(np.prod(self.highs - self.lows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        spans = ", ".join(
+            f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"PreferenceRegion({spans or 'point'})"

@@ -1,0 +1,101 @@
+"""k-clique communities: the other Section II-B cohesiveness remark.
+
+The paper notes its techniques also apply to the (quasi-)clique metric
+of [15].  This module provides the clique substrate: Bron–Kerbosch
+maximal-clique enumeration (with pivoting) and k-clique-component
+communities in the palla-et-al sense — two k-cliques are adjacent when
+they share k-1 vertices; a k-clique community is the union of a
+connected component of that adjacency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph, Vertex
+
+
+def maximal_cliques(graph: AdjacencyGraph) -> Iterator[frozenset[Vertex]]:
+    """Bron–Kerbosch with pivoting; yields every maximal clique."""
+
+    def expand(r: set, p: set, x: set):
+        if not p and not x:
+            yield frozenset(r)
+            return
+        pivot = max(
+            p | x, key=lambda v: len(graph.neighbors(v) & p), default=None
+        )
+        pivot_nbrs = graph.neighbors(pivot) if pivot is not None else set()
+        for v in list(p - pivot_nbrs):
+            nbrs = graph.neighbors(v)
+            yield from expand(r | {v}, p & nbrs, x & nbrs)
+            p.remove(v)
+            x.add(v)
+
+    yield from expand(set(), set(graph.vertices()), set())
+
+
+def k_cliques(graph: AdjacencyGraph, k: int) -> list[frozenset[Vertex]]:
+    """All cliques of exactly size k (subsets of maximal cliques)."""
+    if k < 1:
+        raise GraphError(f"k must be >= 1, got {k}")
+    import itertools
+
+    out: set[frozenset[Vertex]] = set()
+    for clique in maximal_cliques(graph):
+        if len(clique) >= k:
+            for sub in itertools.combinations(sorted(clique), k):
+                out.add(frozenset(sub))
+    return sorted(out, key=sorted)
+
+
+def k_clique_communities(
+    graph: AdjacencyGraph, k: int
+) -> list[frozenset[Vertex]]:
+    """k-clique percolation communities (adjacent = share k-1 vertices)."""
+    cliques = k_cliques(graph, k)
+    if not cliques:
+        return []
+    parent = list(range(len(cliques)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    # Index cliques by their (k-1)-subsets; cliques sharing one unite.
+    import itertools
+
+    by_face: dict[frozenset[Vertex], int] = {}
+    for idx, clique in enumerate(cliques):
+        for face in itertools.combinations(sorted(clique), k - 1):
+            key = frozenset(face)
+            first = by_face.get(key)
+            if first is None:
+                by_face[key] = idx
+            else:
+                union(first, idx)
+    groups: dict[int, set[Vertex]] = {}
+    for idx, clique in enumerate(cliques):
+        groups.setdefault(find(idx), set()).update(clique)
+    return sorted((frozenset(g) for g in groups.values()), key=sorted)
+
+
+def k_clique_community_containing(
+    graph: AdjacencyGraph, query: Iterable[Vertex], k: int
+) -> frozenset[Vertex] | None:
+    """The k-clique community containing every query vertex, or None."""
+    q = set(query)
+    if not q:
+        raise GraphError("query vertex set must be non-empty")
+    for community in k_clique_communities(graph, k):
+        if q <= community:
+            return community
+    return None

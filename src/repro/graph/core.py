@@ -1,0 +1,123 @@
+"""k-core machinery: decomposition, peeling, and query-anchored k-ĉores.
+
+``core_decomposition`` is the Batagelj–Zaversnik bucket algorithm (the
+O(m) routine cited as [14] in the paper).  ``k_core_containing`` computes
+the maximal connected k-core (k-ĉore) that contains all query vertices,
+the building block of the maximal (k,t)-core (Lemma 2/3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph, Vertex
+
+
+def core_decomposition(graph: AdjacencyGraph) -> dict[Vertex, int]:
+    """Return the core number of every vertex (Batagelj–Zaversnik).
+
+    The core number of ``v`` is the largest k such that ``v`` belongs to a
+    k-core of ``graph``.
+    """
+    degree = {v: graph.degree(v) for v in graph.vertices()}
+    if not degree:
+        return {}
+    max_deg = max(degree.values())
+    buckets: list[list[Vertex]] = [[] for _ in range(max_deg + 1)]
+    for v, d in degree.items():
+        buckets[d].append(v)
+
+    core: dict[Vertex, int] = {}
+    current = dict(degree)
+    removed: set[Vertex] = set()
+    k = 0
+    for d in range(max_deg + 1):
+        bucket = buckets[d]
+        while bucket:
+            v = bucket.pop()
+            if v in removed or current[v] != d:
+                # Stale bucket entry: the vertex moved to a lower bucket.
+                continue
+            k = max(k, d)
+            core[v] = k
+            removed.add(v)
+            for u in graph.neighbors(v):
+                if u in removed:
+                    continue
+                cu = current[u]
+                if cu > d:
+                    current[u] = cu - 1
+                    buckets[cu - 1].append(u)
+    return core
+
+
+def peel_to_k_core(graph: AdjacencyGraph, k: int) -> AdjacencyGraph:
+    """Return the maximal k-core of ``graph`` as a new graph.
+
+    Iteratively removes vertices with degree < k (cascade).  The result may
+    be empty and may be disconnected (the union of all k-ĉores).
+    """
+    if k < 0:
+        raise GraphError(f"k must be non-negative, got {k}")
+    g = graph.copy()
+    queue = deque(v for v in g.vertices() if g.degree(v) < k)
+    enqueued = set(queue)
+    while queue:
+        v = queue.popleft()
+        if v not in g:
+            continue
+        for u in list(g.neighbors(v)):
+            g.remove_edge(v, u)
+            if g.degree(u) < k and u not in enqueued:
+                enqueued.add(u)
+                queue.append(u)
+        g.remove_vertex(v)
+    return g
+
+
+def k_core(graph: AdjacencyGraph, k: int) -> AdjacencyGraph:
+    """Alias for :func:`peel_to_k_core` (maximal, possibly disconnected)."""
+    return peel_to_k_core(graph, k)
+
+
+def k_core_containing(
+    graph: AdjacencyGraph, query: Iterable[Vertex], k: int
+) -> AdjacencyGraph | None:
+    """The maximal connected k-core (k-ĉore) containing every query vertex.
+
+    Returns ``None`` when no such community exists: some query vertex falls
+    out of the k-core, or the query vertices end up in different connected
+    components of it.
+    """
+    q = list(query)
+    if not q:
+        raise GraphError("query vertex set must be non-empty")
+    if any(v not in graph for v in q):
+        return None
+    core = peel_to_k_core(graph, k)
+    if any(v not in core for v in q):
+        return None
+    component = core.component_of(q[0])
+    if not all(v in component for v in q):
+        return None
+    return core.subgraph(component)
+
+
+def coreness_upper_bound(num_vertices: int, num_edges: int) -> int:
+    """Upper bound on the maximum coreness of a graph (cited as [2]).
+
+    If ``k`` exceeds this bound there cannot be any k-core, so the search
+    can terminate immediately (Section III of the paper):
+    ``floor((1 + sqrt(9 + 8(m - n))) / 2)``.
+    """
+    if num_vertices <= 0:
+        return 0
+    slack = num_edges - num_vertices
+    discriminant = 9 + 8 * slack
+    if discriminant < 0:
+        # Fewer edges than vertices: forest-like, coreness at most 1.
+        return 1
+    return int((1 + math.isqrt(discriminant)) // 2)

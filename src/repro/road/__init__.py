@@ -1,0 +1,22 @@
+"""Road-network substrate: weighted graphs, shortest paths, G-tree index."""
+
+from repro.road.dijkstra import (
+    bounded_dijkstra,
+    dijkstra,
+    network_distance,
+    query_distances,
+)
+from repro.road.gtree import GTree
+from repro.road.network import RoadNetwork, SpatialPoint
+from repro.road.range_query import range_filter
+
+__all__ = [
+    "RoadNetwork",
+    "SpatialPoint",
+    "dijkstra",
+    "bounded_dijkstra",
+    "network_distance",
+    "query_distances",
+    "GTree",
+    "range_filter",
+]

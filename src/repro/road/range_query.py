@@ -1,0 +1,37 @@
+"""The Lemma-1 range filter with pluggable backends.
+
+Given query locations and a distance threshold ``t``, keep exactly the
+road vertices whose query distance ``D_Q`` (Definition 2) is at most
+``t``.  Backends: plain bounded Dijkstra, or a prebuilt :class:`GTree`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import QueryError
+from repro.road.dijkstra import query_distances
+from repro.road.gtree import GTree
+from repro.road.network import RoadNetwork, SpatialPoint
+
+
+def range_filter(
+    road: RoadNetwork,
+    query_points: Iterable[SpatialPoint],
+    t: float,
+    gtree: GTree | None = None,
+) -> dict[int, float]:
+    """Road vertices v with ``D_Q(v) <= t``, mapped to their ``D_Q`` value.
+
+    When ``gtree`` is provided the index accelerates each per-query range
+    scan; otherwise a t-bounded Dijkstra per query point is used.  The two
+    backends return identical results.
+    """
+    points = list(query_points)
+    if not points:
+        raise QueryError("range filter needs at least one query point")
+    if t < 0:
+        raise QueryError(f"distance threshold must be non-negative, got {t}")
+    if gtree is not None:
+        return gtree.query_distances(points, t)
+    return query_distances(road, points, t)

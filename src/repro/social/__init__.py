@@ -1,0 +1,6 @@
+"""Social-network substrate: attributed users + road-social pairing."""
+
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+__all__ = ["SocialNetwork", "RoadSocialNetwork"]

@@ -1,0 +1,114 @@
+"""Social network Gs = (Vs, Es, L, X) of Section II-A.
+
+Users form an undirected graph; each user carries a location mapping
+``L(v)`` (a :class:`SpatialPoint` on the road network) and a d-dimensional
+real attribute vector ``X(v)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import core_decomposition
+from repro.road.network import SpatialPoint
+
+
+class SocialNetwork:
+    """Attributed, located social graph.
+
+    Parameters
+    ----------
+    graph:
+        Friendship structure (vertices are user ids).
+    attributes:
+        ``user -> d-dimensional numpy vector``; all users must share d.
+    locations:
+        ``user -> SpatialPoint`` on the paired road network.  Optional at
+        construction (attach later with :meth:`set_location`), but required
+        by road-social queries.
+    """
+
+    def __init__(
+        self,
+        graph: AdjacencyGraph,
+        attributes: Mapping[int, np.ndarray],
+        locations: Mapping[int, SpatialPoint] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.attributes: dict[int, np.ndarray] = {}
+        dim: int | None = None
+        for v in graph.vertices():
+            if v not in attributes:
+                raise GraphError(f"user {v!r} has no attribute vector")
+            x = np.asarray(attributes[v], dtype=float)
+            if x.ndim != 1:
+                raise GraphError(f"user {v!r} attributes must be a vector")
+            if dim is None:
+                dim = x.shape[0]
+            elif x.shape[0] != dim:
+                raise GraphError(
+                    f"user {v!r} has {x.shape[0]} attributes, expected {dim}"
+                )
+            self.attributes[v] = x
+        self._dim = dim or 0
+        self.locations: dict[int, SpatialPoint] = {}
+        if locations:
+            for v, p in locations.items():
+                if v in self.attributes:
+                    self.locations[v] = p
+
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def dimensionality(self) -> int:
+        """d: number of numerical attributes per user."""
+        return self._dim
+
+    def location(self, v: int) -> SpatialPoint:
+        try:
+            return self.locations[v]
+        except KeyError:
+            raise GraphError(f"user {v!r} has no location") from None
+
+    def set_location(self, v: int, p: SpatialPoint) -> None:
+        if v not in self.attributes:
+            raise GraphError(f"user {v!r} not in network")
+        self.locations[v] = p
+
+    def attribute(self, v: int) -> np.ndarray:
+        try:
+            return self.attributes[v]
+        except KeyError:
+            raise GraphError(f"user {v!r} not in network") from None
+
+    def attributes_for(self, users: Iterable[int]) -> dict[int, np.ndarray]:
+        return {v: self.attribute(v) for v in users}
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, float]:
+        """Table-II style summary: |V|, |E|, dg_avg, dg_max, k_max."""
+        core = core_decomposition(self.graph)
+        return {
+            "vertices": self.num_users,
+            "edges": self.num_edges,
+            "dg_avg": round(self.graph.average_degree(), 2),
+            "dg_max": self.graph.max_degree(),
+            "k_max": max(core.values(), default=0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SocialNetwork(|V|={self.num_users}, |E|={self.num_edges},"
+            f" d={self._dim})"
+        )

@@ -1,0 +1,6 @@
+"""Spatial index substrate: R-tree over attribute vectors + adapted BBS."""
+
+from repro.spatial.bbs import bbs_order
+from repro.spatial.rtree import RTree
+
+__all__ = ["RTree", "bbs_order"]

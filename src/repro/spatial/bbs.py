@@ -1,0 +1,73 @@
+"""The adapted branch-and-bound skyline (BBS) traversal of Section IV-B.
+
+Differences from classic BBS [26], exactly as the paper lists them:
+
+1. dominance is **r-dominance** (vertex-to-vertex and vertex-to-MBB tests
+   happen downstream in the dominance-graph builder);
+2. the max-heap sorting key is the score of an R-tree node's upper-right
+   MBB corner — respectively a vertex's own score — at the **pivot vector**
+   of R (the mean of R's polytope vertices), which leads the search to
+   r-dominate as many members as possible first;
+3. *all* vertices are emitted (the r-dominance graph keeps every pairwise
+   relationship, not just the top-j layers).
+
+Correctness of the emission order: the pivot lies in R (convexity), the
+upper-right corner's pivot score upper-bounds every point in the MBB
+(weights are positive), hence vertices pop in non-increasing pivot score,
+and a vertex popped later can never r-dominate an earlier one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.geometry.halfspace import score
+from repro.geometry.region import PreferenceRegion
+from repro.spatial.rtree import RTree, RTreeNode
+
+
+def bbs_order(
+    rtree: RTree, region: PreferenceRegion
+) -> Iterator[tuple[object, float]]:
+    """Yield ``(payload, pivot_score)`` in non-increasing pivot score.
+
+    Ties are broken by payload ordering so the traversal is deterministic,
+    which the dominance-graph builder relies on for reproducible DAGs.
+    """
+    if rtree.root is None:
+        return
+    pivot = region.pivot()
+
+    def node_key(node: RTreeNode) -> float:
+        return score(node.upper, pivot)
+
+    counter = 0
+    heap: list[tuple[float, object, int, object]] = []
+
+    def push(kind: str, key: float, tie: object, item: object) -> None:
+        nonlocal counter
+        counter += 1
+        heapq.heappush(heap, (-key, tie, counter, (kind, item)))
+
+    push("node", node_key(rtree.root), "", rtree.root)
+    while heap:
+        neg_key, _tie, _count, (kind, item) = heapq.heappop(heap)
+        if kind == "point":
+            point, payload = item
+            yield payload, -neg_key
+            continue
+        node: RTreeNode = item
+        if node.is_leaf:
+            for point, payload in node.entries:
+                push(
+                    "point",
+                    score(np.asarray(point), pivot),
+                    repr(payload),
+                    (point, payload),
+                )
+        else:
+            for child in node.children:
+                push("node", node_key(child), "", child)

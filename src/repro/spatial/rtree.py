@@ -1,0 +1,165 @@
+"""A d-dimensional R-tree bulk-loaded with Sort-Tile-Recursive (STR).
+
+The paper organizes the attribute-vector set X with a spatial index
+(R-tree, [18]) so the adapted BBS of Section IV-B can traverse minimum
+bounding boxes best-first.  Points only (the vector set), which keeps STR
+simple and packing near-optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+class RTreeNode:
+    """Node with an MBB; leaves hold ``(point, payload)`` entries."""
+
+    __slots__ = ("lower", "upper", "children", "entries")
+
+    def __init__(self) -> None:
+        self.lower: np.ndarray | None = None
+        self.upper: np.ndarray | None = None
+        self.children: list[RTreeNode] = []
+        self.entries: list[tuple[np.ndarray, object]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def _fit(self) -> None:
+        if self.is_leaf:
+            pts = np.asarray([p for p, _ in self.entries])
+            self.lower = pts.min(axis=0)
+            self.upper = pts.max(axis=0)
+        else:
+            self.lower = np.min([c.lower for c in self.children], axis=0)
+            self.upper = np.max([c.upper for c in self.children], axis=0)
+
+
+class RTree:
+    """Static, STR bulk-loaded R-tree over points.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, dim)``.
+    payloads:
+        One payload per point (defaults to the row index).
+    capacity:
+        Maximum entries per leaf and children per internal node.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Sequence[object] | None = None,
+        capacity: int = 32,
+    ) -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise GeometryError("points must be a 2-d array")
+        if capacity < 2:
+            raise GeometryError(f"capacity must be >= 2, got {capacity}")
+        if payloads is None:
+            payloads = list(range(len(pts)))
+        if len(payloads) != len(pts):
+            raise GeometryError("payloads length must match points")
+        self.dim = int(pts.shape[1]) if len(pts) else 0
+        self.capacity = capacity
+        self.size = len(pts)
+        self.root: RTreeNode | None = None
+        if len(pts):
+            entries = [(pts[i], payloads[i]) for i in range(len(pts))]
+            leaves = self._pack_leaves(entries)
+            self.root = self._build_levels(leaves)
+
+    # ------------------------------------------------------------------
+    def _str_tile(self, items: list, key_axis_getter) -> list[list]:
+        """One STR pass: recursively tile items into capacity-size runs."""
+
+        def recurse(chunk: list, axis: int) -> list[list]:
+            if len(chunk) <= self.capacity:
+                return [chunk]
+            chunk = sorted(chunk, key=lambda it: key_axis_getter(it, axis))
+            n_groups = math.ceil(len(chunk) / self.capacity)
+            if axis == self.dim - 1:
+                return [
+                    chunk[i * self.capacity : (i + 1) * self.capacity]
+                    for i in range(n_groups)
+                ]
+            slices = math.ceil(n_groups ** (1.0 / (self.dim - axis)))
+            run = math.ceil(len(chunk) / slices)
+            out: list[list] = []
+            for i in range(0, len(chunk), run):
+                out.extend(recurse(chunk[i : i + run], axis + 1))
+            return out
+
+        return recurse(items, 0)
+
+    def _pack_leaves(self, entries: list) -> list[RTreeNode]:
+        groups = self._str_tile(entries, lambda it, ax: float(it[0][ax]))
+        leaves = []
+        for group in groups:
+            node = RTreeNode()
+            node.entries = group
+            node._fit()
+            leaves.append(node)
+        return leaves
+
+    def _build_levels(self, nodes: list[RTreeNode]) -> RTreeNode:
+        while len(nodes) > 1:
+            groups = self._str_tile(
+                nodes, lambda nd, ax: float((nd.lower[ax] + nd.upper[ax]) / 2)
+            )
+            parents = []
+            for group in groups:
+                parent = RTreeNode()
+                parent.children = group
+                parent._fit()
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        h, node = 0, self.root
+        while node is not None and not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def query_box(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> Iterator[tuple[np.ndarray, object]]:
+        """All (point, payload) pairs inside the closed box [lower, upper]."""
+        if self.root is None:
+            return
+        lo = np.asarray(lower, dtype=float)
+        hi = np.asarray(upper, dtype=float)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if np.any(node.lower > hi) or np.any(node.upper < lo):
+                continue
+            if node.is_leaf:
+                for p, payload in node.entries:
+                    if np.all(p >= lo) and np.all(p <= hi):
+                        yield p, payload
+            else:
+                stack.extend(node.children)
+
+    def all_entries(self) -> Iterator[tuple[np.ndarray, object]]:
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)

@@ -1,0 +1,122 @@
+"""Influential-community (Influ / Influ+) baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.influential import (
+    ICPIndex,
+    influ_nc,
+    influential_communities,
+)
+from repro.errors import QueryError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import peel_to_k_core
+
+from tests.conftest import paper_social_graph, random_graph
+
+
+def _weights(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return {v: float(rng.uniform(0, 10)) for v in graph.vertices()}
+
+
+class TestInflu:
+    def test_invalid_k(self):
+        with pytest.raises(QueryError):
+            influential_communities(AdjacencyGraph(), {}, 0)
+
+    def test_no_core_is_empty(self):
+        g = AdjacencyGraph([(1, 2), (2, 3)])
+        assert influential_communities(g, {1: 1, 2: 2, 3: 3}, 2) == []
+
+    def test_communities_ordered_by_influence(self):
+        g = paper_social_graph()
+        w = _weights(g)
+        out = influential_communities(g, w, 2)
+
+        def influence(c):
+            return min(w[v] for v in c)
+
+        infl = [influence(c) for c in out]
+        assert infl == sorted(infl, reverse=True)
+
+    def test_each_community_is_connected_k_core(self):
+        g = paper_social_graph()
+        w = _weights(g, 1)
+        for k in (2, 3):
+            for c in influential_communities(g, w, k):
+                sub = g.subgraph(c)
+                assert sub.min_degree() >= k
+                assert sub.is_connected()
+
+    def test_strongest_community_definition(self):
+        """Top-1 = connected k-core of the vertices above the highest
+        feasible influence threshold."""
+        g = paper_social_graph()
+        w = _weights(g, 2)
+        top = influential_communities(g, w, 3, top_r=1)[0]
+        # no connected 3-core exists using only strictly stronger vertices
+        threshold = min(w[v] for v in top)
+        stronger = [v for v in g.vertices() if w[v] > threshold]
+        assert peel_to_k_core(g.subgraph(stronger), 3).num_vertices == 0
+
+    def test_query_anchored_chain_is_nested(self):
+        g = paper_social_graph()
+        w = _weights(g, 3)
+        out = influential_communities(g, w, 3, query=[2, 6])
+        for big, small in zip(out, out[1:]):
+            assert small != big
+        for c in out:
+            assert {2, 6} <= c
+
+    def test_influ_nc(self):
+        g = paper_social_graph()
+        w = _weights(g, 4)
+        nc = influ_nc(g, w, 3, [2, 6])
+        out = influential_communities(g, w, 3, query=[2, 6])
+        assert nc == out[0]
+        assert influ_nc(g, w, 5, [2]) is None
+
+
+class TestICPIndex:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_index_matches_online(self, seed):
+        g = random_graph(16, 0.4, seed=seed)
+        w = _weights(g, seed)
+        idx = ICPIndex(g, w, [2, 3])
+        for k in (2, 3):
+            online = influential_communities(g, w, k)
+            indexed = idx.query(k)
+            assert set(indexed) == set(online)
+
+    def test_top_r(self):
+        g = paper_social_graph()
+        w = _weights(g, 5)
+        idx = ICPIndex(g, w, [2])
+        assert idx.query(2, top_r=3) == influential_communities(
+            g, w, 2, top_r=3
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_query_anchored_matches_online(self, seed):
+        g = random_graph(15, 0.45, seed=seed + 50)
+        w = _weights(g, seed + 50)
+        idx = ICPIndex(g, w, [3])
+        core = peel_to_k_core(g, 3)
+        if core.num_vertices == 0:
+            pytest.skip("no 3-core")
+        q = sorted(core.vertices())[:2]
+        online = influential_communities(g, w, 3, query=q)
+        indexed = idx.query(3, query=q)
+        assert indexed == online
+
+    def test_unknown_k_rejected(self):
+        g = paper_social_graph()
+        idx = ICPIndex(g, _weights(g), [2])
+        with pytest.raises(QueryError):
+            idx.query(7)
+
+    def test_query_outside_core(self):
+        g = paper_social_graph()
+        idx = ICPIndex(g, _weights(g), [3])
+        assert idx.query(3, query=[15]) == []

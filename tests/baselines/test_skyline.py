@@ -1,0 +1,111 @@
+"""Skyline-community (Sky / Sky+) baseline tests, including brute-force
+cross-validation on tiny graphs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.skyline import (
+    SkylineBudgetExceeded,
+    _dominates,
+    skyline_communities,
+)
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import peel_to_k_core
+
+from tests.conftest import random_graph
+
+
+def _attrs(graph, d, seed):
+    rng = np.random.default_rng(seed)
+    return {v: rng.uniform(0, 10, d) for v in graph.vertices()}
+
+
+def _brute_force(graph, attrs, k, d):
+    """All Pareto-maximal f-vectors over maximal connected k-cores of
+    threshold-filtered subgraphs (the candidate space of the model)."""
+    vertices = sorted(graph.vertices())
+    candidates = {}
+    # every community is the connected k-core of some threshold filter;
+    # enumerate all subsets (tiny n) that are connected k-cores instead.
+    for r in range(k + 1, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, r):
+            sub = graph.subgraph(subset)
+            if sub.num_vertices == 0 or sub.min_degree() < k:
+                continue
+            if not sub.is_connected():
+                continue
+            f = tuple(
+                float(min(attrs[v][i] for v in subset)) for i in range(d)
+            )
+            candidates[frozenset(subset)] = f
+    skyline = {}
+    for members, f in candidates.items():
+        if not any(
+            _dominates(f2, f) for f2 in candidates.values() if f2 != f
+        ):
+            skyline[f] = skyline.get(f, set()) | {members}
+    return set(skyline)
+
+
+class TestDominates:
+    def test_strict_somewhere(self):
+        assert _dominates((2, 2), (1, 2))
+        assert not _dominates((2, 2), (2, 2))
+        assert not _dominates((2, 1), (1, 2))
+
+
+class TestSkyline:
+    def test_empty_when_no_core(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert skyline_communities(g, {1: np.ones(2), 2: np.ones(2)}, 2) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_fvectors_match_brute_force(self, seed, d):
+        g = random_graph(8, 0.55, seed=seed)
+        core = peel_to_k_core(g, 2)
+        if core.num_vertices == 0:
+            pytest.skip("no 2-core")
+        attrs = _attrs(g, d, seed)
+        expected_fs = _brute_force(g, attrs, 2, d)
+        result = skyline_communities(g, attrs, 2, dims=d)
+        result_fs = {f for _m, f in result}
+        assert result_fs <= expected_fs
+        # the best per dimension is always found
+        for i in range(d):
+            best_i = max(f[i] for f in expected_fs)
+            assert any(abs(f[i] - best_i) < 1e-9 for f in result_fs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_results_not_mutually_dominated(self, seed):
+        g = random_graph(10, 0.5, seed=seed + 10)
+        attrs = _attrs(g, 3, seed)
+        result = skyline_communities(g, attrs, 2, dims=3)
+        for (_m1, f1), (_m2, f2) in itertools.combinations(result, 2):
+            assert not _dominates(f1, f2)
+            assert not _dominates(f2, f1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sky_plus_equivalent(self, seed):
+        """Sky+ (pruned) returns the same f-vector skyline as Sky."""
+        g = random_graph(9, 0.55, seed=seed + 20)
+        attrs = _attrs(g, 2, seed + 20)
+        plain = skyline_communities(g, attrs, 2, prune=False)
+        pruned = skyline_communities(g, attrs, 2, prune=True)
+        assert {f for _m, f in plain} == {f for _m, f in pruned}
+
+    def test_budget_exceeded(self):
+        g = random_graph(12, 0.5, seed=1)
+        attrs = _attrs(g, 3, 1)
+        with pytest.raises(SkylineBudgetExceeded):
+            skyline_communities(g, attrs, 2, dims=3, budget=3)
+
+    def test_communities_are_connected_k_cores(self):
+        g = random_graph(10, 0.5, seed=5)
+        attrs = _attrs(g, 2, 5)
+        for members, _f in skyline_communities(g, attrs, 2):
+            sub = g.subgraph(members)
+            assert sub.min_degree() >= 2
+            assert sub.is_connected()

@@ -1,0 +1,34 @@
+"""ATC-style truss baseline tests."""
+
+from repro.baselines.truss_attribute import attribute_truss_community
+
+from tests.conftest import paper_social_graph
+
+
+class TestAttributeTruss:
+    def test_plain_truss_community(self):
+        g = paper_social_graph()
+        # (k+1)-truss with k=3: the 4-truss around {2,6} is the K4 core.
+        out = attribute_truss_community(g, {}, [2, 6], 3)
+        assert out is not None
+        assert {2, 6} <= out
+        assert {2, 3, 6, 7} <= out
+
+    def test_keyword_filter_restricts(self):
+        g = paper_social_graph()
+        keywords = {v: ("DM" if v in (1, 2, 3, 6, 7) else "DB") for v in g}
+        out = attribute_truss_community(g, keywords, [2, 6], 3, keyword="DM")
+        assert out is not None
+        assert out <= {1, 2, 3, 6, 7}
+
+    def test_query_kept_despite_keyword(self):
+        g = paper_social_graph()
+        keywords = {v: "DB" for v in g}
+        keywords[2] = "DM"
+        out = attribute_truss_community(g, keywords, [2, 6], 3, keyword="DB")
+        assert out is None or 2 in out
+
+    def test_no_community(self):
+        g = paper_social_graph()
+        out = attribute_truss_community(g, {}, [14], 4)
+        assert out is None

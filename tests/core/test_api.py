@@ -1,0 +1,108 @@
+"""Public API tests: dispatch, validation, result helpers, G-tree path."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import mac_search
+from repro.core.query import Community, MACQuery
+from repro.errors import QueryError
+from repro.geometry.region import PreferenceRegion
+
+from tests.conftest import paper_attributes
+
+
+class TestMACQuery:
+    def test_make_normalizes(self, paper_region):
+        q = MACQuery.make([6, 2, 2, 3], 3, 9.0, paper_region)
+        assert q.query == (2, 3, 6)
+
+    def test_validation(self, paper_region):
+        with pytest.raises(QueryError):
+            MACQuery.make([], 3, 9.0, paper_region)
+        with pytest.raises(QueryError):
+            MACQuery.make([1], 0, 9.0, paper_region)
+        with pytest.raises(QueryError):
+            MACQuery.make([1], 3, -1.0, paper_region)
+        with pytest.raises(QueryError):
+            MACQuery.make([1], 3, 9.0, paper_region, j=0)
+
+
+class TestCommunity:
+    def test_set_semantics(self):
+        c1 = Community([1, 2, 3])
+        c2 = Community([3, 2, 1])
+        assert c1 == c2
+        assert hash(c1) == hash(c2)
+        assert len(c1) == 3
+        assert 2 in c1
+
+    def test_score_helpers(self):
+        attrs = paper_attributes()
+        c = Community([2, 7])
+        w = np.array([0.2, 0.3])
+        assert c.min_vertex_at(w, attrs) == 7
+        assert c.score_at(w, attrs) == pytest.approx(4.47)
+
+
+class TestMacSearchDispatch:
+    def test_unknown_algorithm(self, paper_network, paper_region):
+        with pytest.raises(QueryError):
+            mac_search(
+                paper_network, [2], 2, 9.0, paper_region, algorithm="magic"
+            )
+
+    def test_unknown_problem(self, paper_network, paper_region):
+        with pytest.raises(QueryError):
+            mac_search(
+                paper_network, [2], 2, 9.0, paper_region, problem="best"
+            )
+
+    def test_dimension_mismatch(self, paper_network):
+        region = PreferenceRegion([0.2], [0.4])  # d = 2, network d = 3
+        with pytest.raises(QueryError):
+            mac_search(paper_network, [2], 2, 9.0, region)
+
+    def test_missing_query_user(self, paper_network, paper_region):
+        with pytest.raises(QueryError):
+            mac_search(paper_network, [999], 2, 9.0, paper_region)
+
+    @pytest.mark.parametrize("algorithm", ["global", "local"])
+    @pytest.mark.parametrize("problem", ["nc", "topj"])
+    def test_all_modes_run(self, paper_network, paper_region, algorithm, problem):
+        res = mac_search(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region,
+            j=2, algorithm=algorithm, problem=problem,
+        )
+        assert not res.is_empty
+        assert res.elapsed >= 0
+        assert res.htk_vertices == 7
+
+    def test_gtree_path_matches_dijkstra(self, paper_network, paper_region):
+        plain = mac_search(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region, use_gtree=False
+        )
+        fast = mac_search(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region, use_gtree=True
+        )
+        assert plain.nc_communities() == fast.nc_communities()
+        assert paper_network.gtree is not None  # cached
+
+
+class TestResultHelpers:
+    def test_entry_at_and_communities(self, paper_network, paper_region):
+        res = mac_search(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region,
+            j=2, problem="topj",
+        )
+        w = np.array([0.15, 0.3])
+        entry = res.entry_at(w)
+        assert entry is not None
+        assert entry.cell.contains(w)
+        assert res.entry_at(np.array([0.9, 0.9])) is None
+        assert res.nc_communities() <= res.communities()
+
+    def test_empty_result(self, paper_network, paper_region):
+        res = mac_search(paper_network, [2], 6, 9.0, paper_region)
+        assert res.is_empty
+        assert res.communities() == set()
+        assert res.entry_at(np.array([0.3, 0.3])) is None

@@ -1,0 +1,161 @@
+"""Point-oracle tests: the paper's Examples 1-3 at fixed weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.peeling import (
+    cascade_delete,
+    deletion_chain,
+    nc_mac_at,
+    restrict_to_query_component,
+    top_j_at,
+)
+from repro.errors import QueryError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import k_core_containing
+
+from tests.conftest import paper_attributes, paper_social_graph
+
+
+def _htk_93():
+    """H^9_3 = subgraph induced by v1..v7 (paper, Section III)."""
+    return paper_social_graph().subgraph(range(1, 8))
+
+
+def _scores(w):
+    attrs = paper_attributes()
+    w = np.asarray(w)
+    return {
+        v: float(x[-1] + np.dot(w, x[:-1] - x[-1]))
+        for v, x in attrs.items()
+        if v <= 7
+    }
+
+
+class TestCascadeDelete:
+    def test_single_deletion(self):
+        g = _htk_93()
+        deleted = cascade_delete(g, 1, 3)
+        assert 1 in deleted
+        assert all(v not in g for v in deleted)
+        for v in g.vertices():
+            assert g.degree(v) >= 3
+
+    def test_cascade_propagates(self):
+        # path graph with k=1: deleting an endpoint only removes it
+        g = AdjacencyGraph([(1, 2), (2, 3)])
+        deleted = cascade_delete(g, 2, 1)
+        # removing 2 drops 1 and 3 to degree 0 < 1 -> full cascade
+        assert deleted == {1, 2, 3}
+
+    def test_missing_trigger_is_noop(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert cascade_delete(g, 9, 1) == set()
+
+
+class TestRestrictToQueryComponent:
+    def test_drops_other_components(self):
+        g = AdjacencyGraph([(1, 2), (3, 4)])
+        dropped = restrict_to_query_component(g, [1])
+        assert dropped == {3, 4}
+        assert set(g.vertices()) == {1, 2}
+
+    def test_broken_query_returns_none(self):
+        g = AdjacencyGraph([(1, 2), (3, 4)])
+        assert restrict_to_query_component(g, [1, 3]) is None
+
+    def test_deleted_query_returns_none(self):
+        g = AdjacencyGraph([(1, 2)])
+        assert restrict_to_query_component(g, [7]) is None
+
+
+class TestPaperExample3:
+    """Example 3: H3 = {v2..v6} is top-1 at w = (0.2, 0.3); H1 =
+    {v2,v3,v6,v7} is top-1 at w = (0.19, 0.3)."""
+
+    def test_h3_at_020_030(self):
+        result = nc_mac_at(_htk_93(), [2, 3, 6], 3, _scores([0.2, 0.3]))
+        assert result == frozenset({2, 3, 4, 5, 6})
+
+    def test_h1_at_019_030(self):
+        result = nc_mac_at(_htk_93(), [2, 3, 6], 3, _scores([0.19, 0.3]))
+        assert result == frozenset({2, 3, 6, 7})
+
+
+class TestPaperExample2:
+    """Example 2: the top-2 MACs in R1 are H1 and H2 = {v2..v7}."""
+
+    def test_top2_at_r1_weight(self):
+        top = top_j_at(_htk_93(), [2, 3, 6], 3, _scores([0.15, 0.3]), 2)
+        assert top[0] == frozenset({2, 3, 6, 7})
+        assert top[1] == frozenset({2, 3, 4, 5, 6, 7})
+
+    def test_top1_is_nc(self):
+        scores = _scores([0.15, 0.3])
+        top = top_j_at(_htk_93(), [2, 3, 6], 3, scores, 1)
+        assert top[0] == nc_mac_at(_htk_93(), [2, 3, 6], 3, scores)
+
+
+class TestPaperExample1:
+    """Example 1: Q={v2}, k=2: {v2,v3,v5,v6,v7} is an MAC (a member of
+    the peeling chain, Lemma 5) for w in the upper-left part of R1, and
+    its score there is S(v7)."""
+
+    def test_upper_left_r1(self):
+        # (0.11, 0.38): top-left of R, inside the upper-left part of R1.
+        scores = _scores([0.11, 0.38])
+        chain, _batches = deletion_chain(_htk_93(), [2], 2, scores)
+        mac = {2, 3, 5, 6, 7}
+        assert mac in chain
+        assert min(scores[v] for v in mac) == pytest.approx(scores[7])
+
+
+class TestChainInvariants:
+    def test_chain_is_nested_and_each_is_mac(self):
+        g = _htk_93()
+        chain, batches = deletion_chain(g, [2, 3, 6], 3, _scores([0.2, 0.3]))
+        assert chain[0] == set(range(1, 8))
+        for earlier, later, batch in zip(chain, chain[1:], batches):
+            assert later < earlier
+            assert batch == frozenset(earlier - later)
+        for community in chain:
+            sub = g.subgraph(community)
+            assert sub.min_degree() >= 3
+            assert sub.is_connected()
+            assert {2, 3, 6} <= community
+
+    def test_max_batches_truncates_front(self):
+        g = _htk_93()
+        full, _ = deletion_chain(g, [2, 3, 6], 3, _scores([0.2, 0.3]))
+        short, _ = deletion_chain(
+            g, [2, 3, 6], 3, _scores([0.2, 0.3]), max_batches=1
+        )
+        assert short == full[-2:]
+
+    def test_input_not_mutated(self):
+        g = _htk_93()
+        m0 = g.num_edges
+        deletion_chain(g, [2, 3, 6], 3, _scores([0.2, 0.3]))
+        assert g.num_edges == m0
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            deletion_chain(_htk_93(), [], 3, _scores([0.2, 0.3]))
+
+    def test_final_community_is_non_contained(self):
+        """Deleting the final community's min non-Q vertex must break it
+        (Lemma 6 / Definition 6)."""
+        g = _htk_93()
+        scores = _scores([0.2, 0.3])
+        final = nc_mac_at(g, [2, 3, 6], 3, scores)
+        non_query = final - {2, 3, 6}
+        assert non_query, "sanity: final community exceeds Q"
+        u = min(non_query, key=lambda v: scores[v])
+        sub = g.subgraph(final)
+        cascade_delete(sub, u, 3)
+        assert k_core_containing(sub, [2, 3, 6], 3) is None
+
+    def test_top_j_longer_than_chain(self):
+        g = _htk_93()
+        top = top_j_at(g, [2, 3, 6], 3, _scores([0.2, 0.3]), 50)
+        assert top[-1] == frozenset(range(1, 8))  # ends at H^9_3

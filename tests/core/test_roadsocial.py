@@ -1,0 +1,122 @@
+"""Road-social pairing and maximal (k,t)-core pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, QueryError
+from repro.road.network import SpatialPoint
+from repro.social.network import SocialNetwork
+
+from tests.conftest import (
+    paper_attributes,
+    paper_road,
+    paper_social_graph,
+)
+from repro.social.roadsocial import RoadSocialNetwork
+
+
+class TestSocialNetwork:
+    def test_dimensionality(self, paper_network):
+        assert paper_network.social.dimensionality == 3
+
+    def test_missing_attributes_rejected(self):
+        graph = paper_social_graph()
+        attrs = paper_attributes()
+        del attrs[5]
+        with pytest.raises(GraphError):
+            SocialNetwork(graph, attrs)
+
+    def test_inconsistent_dimensions_rejected(self):
+        graph = paper_social_graph()
+        attrs = paper_attributes()
+        attrs[5] = np.array([1.0, 2.0])
+        with pytest.raises(GraphError):
+            SocialNetwork(graph, attrs)
+
+    def test_location_handling(self, paper_network):
+        social = paper_network.social
+        assert social.location(2) == SpatialPoint.at_vertex(2)
+        social.set_location(2, SpatialPoint.at_vertex(5))
+        assert social.location(2) == SpatialPoint.at_vertex(5)
+        with pytest.raises(GraphError):
+            social.set_location(999, SpatialPoint.at_vertex(1))
+
+    def test_statistics(self, paper_network):
+        stats = paper_network.social.statistics()
+        assert stats["vertices"] == 15
+        assert stats["k_max"] == 3
+
+
+class TestQueryDistanceFilter:
+    def test_paper_filter_t9(self, paper_network):
+        kept = paper_network.query_distance_filter([2, 3, 6], 9.0)
+        assert set(kept) == {1, 2, 3, 4, 5, 6, 7}
+        assert kept[7] == pytest.approx(7.0)
+
+    def test_empty_query_rejected(self, paper_network):
+        with pytest.raises(QueryError):
+            paper_network.query_distance_filter([], 9.0)
+
+    def test_unknown_query_rejected(self, paper_network):
+        with pytest.raises(QueryError):
+            paper_network.query_distance_filter([999], 9.0)
+
+    def test_gtree_backend_matches(self, paper_network):
+        plain = paper_network.query_distance_filter([2, 3, 6], 9.0)
+        fast = paper_network.query_distance_filter(
+            [2, 3, 6], 9.0, use_gtree=True
+        )
+        assert set(plain) == set(fast)
+        for v in plain:
+            assert plain[v] == pytest.approx(fast[v])
+
+    def test_user_without_location_skipped(self):
+        road = paper_road()
+        graph = paper_social_graph()
+        attrs = paper_attributes()
+        locations = {
+            v: SpatialPoint.at_vertex(v) for v in range(1, 15)
+        }  # user 15 unlocated
+        net = RoadSocialNetwork(
+            road, SocialNetwork(graph, attrs, locations)
+        )
+        kept = net.query_distance_filter([9], 100.0)
+        assert 15 not in kept
+
+    def test_midedge_user_location(self):
+        road = paper_road()
+        graph = paper_social_graph()
+        attrs = paper_attributes()
+        locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+        locations[7] = SpatialPoint.on_edge(6, 7, 2.0)  # 2 from r6
+        net = RoadSocialNetwork(road, SocialNetwork(graph, attrs, locations))
+        kept = net.query_distance_filter([6], 3.0)
+        assert 7 in kept
+        assert kept[7] == pytest.approx(2.0)
+
+
+class TestMaximalKTCore:
+    def test_paper_h93(self, paper_network):
+        kt = paper_network.maximal_kt_core([2, 3, 6], 3, 9.0)
+        assert kt is not None
+        assert kt.vertices == {1, 2, 3, 4, 5, 6, 7}
+        assert kt.graph.min_degree() >= 3
+        assert max(kt.query_distance.values()) <= 9.0
+
+    def test_k_too_large(self, paper_network):
+        assert paper_network.maximal_kt_core([2], 6, 9.0) is None
+
+    def test_t_too_small(self, paper_network):
+        # t=5 excludes v7 (D_Q(v7)=7): no 3-core with Q remains
+        assert paper_network.maximal_kt_core([2, 3, 6], 3, 5.0) is None
+
+    def test_invalid_parameters(self, paper_network):
+        with pytest.raises(QueryError):
+            paper_network.maximal_kt_core([2], -1, 9.0)
+        with pytest.raises(QueryError):
+            paper_network.maximal_kt_core([2], 2, -5.0)
+
+    def test_k2_keeps_periphery_when_t_large(self, paper_network):
+        kt = paper_network.maximal_kt_core([2], 2, 1000.0)
+        assert kt is not None
+        assert len(kt.vertices) >= 10  # periphery cycles join the 2-core

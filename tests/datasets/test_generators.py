@@ -1,0 +1,168 @@
+"""Dataset generator tests: determinism, shape statistics, validity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attributes import KINDS, generate_attributes
+from repro.datasets.locations import checkin_locations
+from repro.datasets.roads import grid_road
+from repro.datasets.socials import bfs_partition, power_law_social
+from repro.errors import DatasetError
+from repro.graph.core import core_decomposition
+
+
+class TestGridRoad:
+    def test_deterministic(self):
+        a = grid_road(400, seed=3)
+        b = grid_road(400, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_connected(self):
+        road = grid_road(900, seed=1)
+        start = next(road.vertices())
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in road.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert len(seen) == road.num_vertices
+
+    def test_road_like_average_degree(self):
+        road = grid_road(2000, seed=2)
+        assert 2.0 <= road.average_degree() <= 3.2  # Table II: ~2.5
+
+    def test_coordinates_present(self):
+        road = grid_road(100, seed=0)
+        for v in road.vertices():
+            assert road.has_coordinates(v)
+
+    def test_weights_positive(self):
+        road = grid_road(200, seed=5)
+        assert all(w > 0 for _u, _v, w in road.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            grid_road(2)
+
+    def test_bad_drop_fraction(self):
+        with pytest.raises(DatasetError):
+            grid_road(100, drop_fraction=1.0)
+
+
+class TestPowerLawSocial:
+    def test_deterministic(self):
+        a, _ = power_law_social(300, 6.0, seed=4)
+        b, _ = power_law_social(300, 6.0, seed=4)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_average_degree_close(self):
+        g, _ = power_law_social(1500, 8.0, seed=1)
+        assert 6.0 <= g.average_degree() <= 11.0
+
+    def test_heavy_tail(self):
+        g, _ = power_law_social(1500, 6.0, seed=2)
+        assert g.max_degree() > 5 * g.average_degree()
+
+    def test_core_depth_from_planting(self):
+        g, _ = power_law_social(1200, 6.0, seed=3)
+        k_max = max(core_decomposition(g).values())
+        assert k_max >= 16  # deep enough for the paper's k sweeps
+
+    def test_groups_partition_vertices(self):
+        g, groups = power_law_social(500, 5.0, seed=5)
+        union = set()
+        for grp in groups:
+            assert not (union & set(grp))
+            union |= set(grp)
+        assert union == set(g.vertices())
+
+    def test_bfs_partition_sizes(self):
+        g, _ = power_law_social(400, 5.0, seed=6)
+        rng = np.random.default_rng(0)
+        groups = bfs_partition(g, 8, rng)
+        assert sum(len(x) for x in groups) == 400
+
+
+class TestAttributes:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_shape_and_range(self, kind):
+        x = generate_attributes(500, 4, kind=kind, seed=1)
+        assert x.shape == (500, 4)
+        assert x.min() >= 0.0 and x.max() <= 10.0
+
+    def test_deterministic(self):
+        a = generate_attributes(100, 3, seed=2)
+        b = generate_attributes(100, 3, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_correlated_really_correlated(self):
+        x = generate_attributes(3000, 2, kind="correlated", seed=3)
+        r = np.corrcoef(x[:, 0], x[:, 1])[0, 1]
+        assert r > 0.85
+
+    def test_anticorrelated_negative(self):
+        x = generate_attributes(3000, 2, kind="anticorrelated", seed=4)
+        r = np.corrcoef(x[:, 0], x[:, 1])[0, 1]
+        assert r < -0.3
+
+    def test_independent_uncorrelated(self):
+        x = generate_attributes(3000, 2, kind="independent", seed=5)
+        r = np.corrcoef(x[:, 0], x[:, 1])[0, 1]
+        assert abs(r) < 0.1
+
+    def test_real_zero_inflated(self):
+        x = generate_attributes(3000, 3, kind="real", seed=6)
+        zero_rows = np.sum(np.all(x < 1e-9, axis=1))
+        assert zero_rows > 1000  # most Yelp users have zero compliments
+
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            generate_attributes(10, 2, kind="weird")
+
+    def test_bad_dimensions(self):
+        with pytest.raises(DatasetError):
+            generate_attributes(10, 0)
+
+
+class TestCheckinLocations:
+    def test_all_users_mapped_to_road_vertices(self):
+        road = grid_road(300, seed=0)
+        locs = checkin_locations(road, range(50), seed=1)
+        assert set(locs) == set(range(50))
+        for p in locs.values():
+            assert p.on_vertex
+            assert p.u in road
+
+    def test_groups_colocate_friends(self):
+        """Users of one group must be much closer to each other than to
+        a random other group (the LBSN property)."""
+        road = grid_road(900, seed=2)
+        groups = [list(range(0, 25)), list(range(25, 50))]
+        locs = checkin_locations(
+            road, range(50), seed=3, groups=groups, scatter=0.02
+        )
+        coords = {u: np.asarray(road.coordinates(locs[u].u)) for u in range(50)}
+
+        def spread(users):
+            pts = np.asarray([coords[u] for u in users])
+            return float(np.linalg.norm(pts - pts.mean(axis=0), axis=1).mean())
+
+        within = (spread(groups[0]) + spread(groups[1])) / 2
+        between = float(
+            np.linalg.norm(
+                np.mean([coords[u] for u in groups[0]], axis=0)
+                - np.mean([coords[u] for u in groups[1]], axis=0)
+            )
+        )
+        assert between > within
+
+    def test_requires_coordinates(self):
+        from repro.road.network import RoadNetwork
+
+        road = RoadNetwork()
+        road.add_edge(1, 2, 1.0)
+        with pytest.raises(DatasetError):
+            checkin_locations(road, [1], seed=0)

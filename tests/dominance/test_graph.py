@@ -1,0 +1,152 @@
+"""r-dominance graph (Gd) tests: Fig. 4(b) exactly, plus DAG invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dominance.graph import DominanceGraph
+from repro.dominance.relation import r_dominates
+from repro.errors import GeometryError
+from repro.geometry.region import PreferenceRegion
+
+from tests.conftest import PAPER_ATTRIBUTES
+
+
+@pytest.fixture
+def paper_gd(paper_region):
+    attrs = {v: np.asarray(x) for v, x in PAPER_ATTRIBUTES.items()}
+    return DominanceGraph(attrs, paper_region)
+
+
+class TestFig4b:
+    """The exact r-dominance graph of the paper's running example."""
+
+    def test_roots_are_v2_v4_v6(self, paper_gd):
+        assert sorted(paper_gd.roots) == [2, 4, 6]
+
+    def test_leaves_are_v1_v5_v7(self, paper_gd):
+        assert paper_gd.leaves_within(paper_gd.vertices()) == [1, 5, 7]
+
+    def test_hasse_parents(self, paper_gd):
+        assert sorted(paper_gd.parents[3]) == [2, 6]
+        assert sorted(paper_gd.parents[5]) == [2, 6]
+        assert sorted(paper_gd.parents[1]) == [4]
+        # transitive reduction: v7's only parent is v3 (v2, v6 implied)
+        assert sorted(paper_gd.parents[7]) == [3]
+
+    def test_layers(self, paper_gd):
+        assert paper_gd.layer(2) == paper_gd.layer(4) == paper_gd.layer(6) == 0
+        assert paper_gd.layer(3) == paper_gd.layer(5) == paper_gd.layer(1) == 1
+        assert paper_gd.layer(7) == 2
+
+    def test_r_dominance_counts(self, paper_gd):
+        assert paper_gd.r_dominance_count(2) == 0
+        assert paper_gd.r_dominance_count(7) == 3  # v2, v3, v6
+        assert paper_gd.r_dominance_count(1) == 1  # v4
+
+    def test_ancestors_descendants(self, paper_gd):
+        assert paper_gd.ancestors(7) == {2, 3, 6}
+        assert paper_gd.descendants(2) == {3, 5, 7}
+        assert paper_gd.descendants(4) == {1}
+
+
+class TestSubsetSweeps:
+    def test_leaves_within_subset(self, paper_gd):
+        # Ge for H1 = {2,3,6,7}: the bottom layer is {7}.
+        assert paper_gd.leaves_within({2, 3, 6, 7}) == [7]
+        # Ge for H3 = {2..6}: v3/v5 dominate nothing inside; v4's only
+        # descendant (v1) is outside -> leaves are {3, 4, 5}.
+        assert paper_gd.leaves_within({2, 3, 4, 5, 6}) == [3, 4, 5]
+
+    def test_tops_within_gc_of_h1(self, paper_gd):
+        """Gc for H1 = {1, 4, 5}: lt(Gc) = {4, 5} (v1 under v4)."""
+        assert paper_gd.tops_within({1, 4, 5}) == [4, 5]
+
+    def test_descendant_flags(self, paper_gd):
+        flags = paper_gd.has_descendant_in({7})
+        assert flags[3] and flags[2] and flags[6]
+        assert not flags[4] and not flags[1] and not flags[7]
+
+    def test_ancestor_flags(self, paper_gd):
+        flags = paper_gd.has_ancestor_in({4})
+        assert flags[1]
+        assert not flags[2] and not flags[7]
+
+
+class TestScoresAndHalfspaces:
+    def test_score_at(self, paper_gd):
+        w = np.array([0.2, 0.3])
+        assert paper_gd.score_at(7, w) == pytest.approx(4.47)
+
+    def test_halfspace_cached(self, paper_gd):
+        h1 = paper_gd.halfspace(7, 5)
+        h2 = paper_gd.halfspace(7, 5)
+        assert h1 is h2
+
+    def test_halfspace_semantics(self, paper_gd, paper_region):
+        h = paper_gd.halfspace(7, 5)  # S(v7) >= S(v5)
+        rng = np.random.default_rng(0)
+        for w in paper_region.sample(rng, 30):
+            lhs = paper_gd.score_at(7, w) >= paper_gd.score_at(5, w)
+            assert lhs == h.contains(w, tol=1e-9) or abs(
+                paper_gd.score_at(7, w) - paper_gd.score_at(5, w)
+            ) < 1e-7
+
+
+class TestValidation:
+    def test_empty_rejected(self, paper_region):
+        with pytest.raises(GeometryError):
+            DominanceGraph({}, paper_region)
+
+    def test_dimension_mismatch(self, paper_region):
+        with pytest.raises(GeometryError):
+            DominanceGraph({1: np.array([1.0, 2.0])}, paper_region)
+
+    def test_rtree_and_sort_paths_agree(self, paper_region):
+        attrs = {v: np.asarray(x) for v, x in PAPER_ATTRIBUTES.items()}
+        g1 = DominanceGraph(attrs, paper_region, use_rtree=True)
+        g2 = DominanceGraph(attrs, paper_region, use_rtree=False)
+        assert g1.parents == g2.parents
+        assert g1.order == g2.order
+
+
+class TestEqualVectors:
+    def test_duplicate_attributes_stay_acyclic(self, paper_region):
+        attrs = {
+            1: np.array([5.0, 5.0, 5.0]),
+            2: np.array([5.0, 5.0, 5.0]),
+            3: np.array([1.0, 1.0, 1.0]),
+        }
+        gd = DominanceGraph(attrs, paper_region)
+        # one of the twins dominates the other (deterministic tie-break)
+        assert (2 in gd.descendants(1)) != (1 in gd.descendants(2))
+        assert gd.leaves_within([1, 2, 3]) == [3]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 5_000), st.integers(4, 16))
+def test_hasse_invariants_random(seed, n):
+    """Arcs agree with r-dominance; reduction has no shortcuts; the
+    insertion order is topological."""
+    rng = np.random.default_rng(seed)
+    region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+    attrs = {i: rng.uniform(0, 10, 3) for i in range(n)}
+    gd = DominanceGraph(attrs, region)
+    pos = {v: i for i, v in enumerate(gd.order)}
+    for v in gd.vertices():
+        for p in gd.parents[v]:
+            assert r_dominates(attrs[p], attrs[v], region)
+            assert pos[p] < pos[v]
+            # no intermediate dominator between p and v
+            for q in gd.ancestors(v) - {p}:
+                assert not (
+                    q in gd.descendants(p) and v in gd.descendants(q)
+                )
+    # every true dominance is reflected as ancestry
+    ids = sorted(attrs)
+    for u in ids:
+        for v in ids:
+            if u != v and r_dominates(attrs[u], attrs[v], region):
+                if not r_dominates(attrs[v], attrs[u], region):
+                    assert v in gd.descendants(u)

@@ -1,0 +1,126 @@
+"""r-dominance tests: the Fig. 3 cases on the paper's exact numbers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dominance.relation import (
+    DOMINATED,
+    DOMINATES,
+    EQUAL,
+    INCOMPARABLE,
+    corner_scores,
+    dominance_case,
+    dominates_box,
+    r_dominates,
+)
+from repro.geometry.halfspace import score
+from repro.geometry.region import PreferenceRegion
+
+from tests.conftest import PAPER_ATTRIBUTES
+
+
+def _x(v):
+    return np.asarray(PAPER_ATTRIBUTES[v], dtype=float)
+
+
+def _case(u, v, region):
+    corners = region.corners()
+    return dominance_case(
+        corner_scores(_x(u), corners), corner_scores(_x(v), corners)
+    )
+
+
+class TestPaperCases:
+    """Hand-verified relations of Fig. 4(b) over R=[0.1,0.5]x[0.2,0.4]."""
+
+    def test_v4_dominates_v1(self, paper_region):
+        assert _case(4, 1, paper_region) == DOMINATES
+        assert _case(1, 4, paper_region) == DOMINATED
+
+    def test_v3_dominates_v7(self, paper_region):
+        assert _case(3, 7, paper_region) == DOMINATES
+
+    def test_v2_dominates_v3_v5_v7(self, paper_region):
+        for v in (3, 5, 7):
+            assert _case(2, v, paper_region) == DOMINATES
+
+    def test_v6_dominates_v3_v5_v7(self, paper_region):
+        for v in (3, 5, 7):
+            assert _case(6, v, paper_region) == DOMINATES
+
+    def test_tops_incomparable(self, paper_region):
+        assert _case(2, 6, paper_region) == INCOMPARABLE
+        assert _case(2, 4, paper_region) == INCOMPARABLE
+        assert _case(6, 4, paper_region) == INCOMPARABLE
+
+    def test_initial_leaf_pairs_incomparable(self, paper_region):
+        """v7, v5, v1: the initial leaves of Section V-B."""
+        assert _case(7, 5, paper_region) == INCOMPARABLE
+        assert _case(7, 1, paper_region) == INCOMPARABLE
+        assert _case(1, 5, paper_region) == INCOMPARABLE
+
+    def test_equal_vectors(self, paper_region):
+        assert _case(2, 2, paper_region) == EQUAL
+
+    def test_r_dominates_weak(self, paper_region):
+        assert r_dominates(_x(4), _x(1), paper_region)
+        assert r_dominates(_x(2), _x(2), paper_region)
+        assert not r_dominates(_x(1), _x(4), paper_region)
+
+
+class TestRegionSensitivity:
+    def test_narrower_region_creates_dominance(self):
+        """v2 vs v6 are incomparable on R but comparable on a sub-box."""
+        left = PreferenceRegion([0.1, 0.2], [0.15, 0.25])
+        # at (0.1, 0.2): S(v2)=6.03 > S(v6)=5.19 -> v2 dominates there
+        assert _case(2, 6, left) == DOMINATES
+
+    def test_one_dimension(self):
+        region = PreferenceRegion()
+        a, b = np.array([5.0]), np.array([3.0])
+        assert r_dominates(a, b, region)
+        assert not r_dominates(b, a, region)
+
+
+class TestDominatesBox:
+    def test_upper_corner_rule(self, paper_region):
+        assert dominates_box(_x(2), np.array([2.0, 5.0, 5.0]), paper_region)
+        assert not dominates_box(
+            _x(7), np.array([9.0, 9.0, 9.0]), paper_region
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_dominance_agrees_with_dense_sampling(seed):
+    """corner test == 'for all w in R' on a dense sample grid."""
+    rng = np.random.default_rng(seed)
+    region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+    xu = rng.uniform(0, 10, 3)
+    xv = rng.uniform(0, 10, 3)
+    claimed = r_dominates(xu, xv, region)
+    samples = region.sample(rng, 60)
+    sampled_all_geq = all(
+        score(xu, w) >= score(xv, w) - 1e-7 for w in samples
+    )
+    if claimed:
+        assert sampled_all_geq
+    # the converse needs the corners themselves:
+    corners_all_geq = all(
+        score(xu, c) >= score(xv, c) - 1e-12 for c in region.corners()
+    )
+    assert claimed == corners_all_geq
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_transitivity(seed):
+    rng = np.random.default_rng(seed)
+    region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+    xs = rng.uniform(0, 10, size=(3, 3))
+    if r_dominates(xs[0], xs[1], region) and r_dominates(
+        xs[1], xs[2], region
+    ):
+        assert r_dominates(xs[0], xs[2], region)

@@ -1,0 +1,150 @@
+"""Convex cell tests across all three representations (interval, polygon,
+LP) plus randomized consistency between the polygon and LP paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.cell import Cell
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.region import PreferenceRegion
+
+
+def _h(a, b):
+    return Halfspace.make(np.asarray(a, dtype=float), b)
+
+
+def _lp_cell(constraints) -> Cell:
+    """Force the LP path by not providing vertices."""
+    return Cell(2, tuple(constraints))
+
+
+class TestInterval:
+    def test_region_cell(self):
+        r = PreferenceRegion([0.2], [0.6])
+        c = Cell.from_region(r)
+        assert not c.is_empty()
+        assert 0.2 <= c.interior_point()[0] <= 0.6
+        assert c.radius() == pytest.approx(0.2)
+
+    def test_clip(self):
+        c = Cell.from_region(PreferenceRegion([0.2], [0.6]))
+        left = c.with_constraint(_h([1.0], 0.4))  # w <= 0.4
+        assert left.interior_point()[0] == pytest.approx(0.3)
+        empty = c.with_constraint(_h([1.0], 0.1))
+        assert empty.is_empty()
+
+    def test_side_of(self):
+        c = Cell.from_region(PreferenceRegion([0.2], [0.6]))
+        assert c.side_of(_h([1.0], 0.4)) == "split"
+        assert c.side_of(_h([1.0], 0.9)) == "inside"
+        assert c.side_of(_h([-1.0], -0.9)) == "outside"  # w >= 0.9
+
+
+class TestPolygon:
+    def test_region_cell(self, paper_region):
+        c = Cell.from_region(paper_region)
+        assert not c.is_empty()
+        p = c.interior_point()
+        assert paper_region.contains(p)
+
+    def test_split_partitions(self, paper_region):
+        c = Cell.from_region(paper_region)
+        h = _h([1.0, 0.0], 0.3)  # w1 <= 0.3
+        inside, outside = c.split(h)
+        assert not inside.is_empty() and not outside.is_empty()
+        assert inside.interior_point()[0] < 0.3
+        assert outside.interior_point()[0] > 0.3
+
+    def test_side_of_cases(self, paper_region):
+        c = Cell.from_region(paper_region)
+        assert c.side_of(_h([1.0, 0.0], 0.3)) == "split"
+        assert c.side_of(_h([1.0, 0.0], 0.9)) == "inside"
+        assert c.side_of(_h([-1.0, 0.0], -0.9)) == "outside"
+
+    def test_degenerate_halfspace(self, paper_region):
+        c = Cell.from_region(paper_region)
+        assert c.side_of(_h([0.0, 0.0], 1.0)) == "inside"
+        assert c.side_of(_h([0.0, 0.0], -1.0)) == "outside"
+
+    def test_sliver_absorbed(self, paper_region):
+        """A cut tangent to the boundary must not create an empty side."""
+        c = Cell.from_region(paper_region)
+        h = _h([1.0, 0.0], 0.1 + 1e-13)  # grazes the left edge
+        assert c.side_of(h) != "split"
+
+    def test_contains(self, paper_region):
+        c = Cell.from_region(paper_region)
+        sub = c.with_constraint(_h([1.0, 0.0], 0.3))
+        assert sub.contains(np.array([0.2, 0.3]))
+        assert not sub.contains(np.array([0.4, 0.3]))
+
+    def test_radius_positive(self, paper_region):
+        c = Cell.from_region(paper_region)
+        assert c.radius() > 0.05
+
+
+class TestLPPath:
+    def test_matches_polygon_emptiness(self, paper_region):
+        rng = np.random.default_rng(7)
+        base_poly = Cell.from_region(paper_region)
+        base_lp = _lp_cell(paper_region.halfspaces())
+        for _ in range(40):
+            a = rng.normal(size=2)
+            b = float(
+                a @ rng.uniform([0.1, 0.2], [0.5, 0.4])
+            )  # passes through a random point of the box
+            h = Halfspace.make(a, b)
+            assert base_poly.side_of(h) == base_lp.side_of(h)
+            poly = base_poly.with_constraint(h)
+            lp = base_lp.with_constraint(h)
+            assert poly.is_empty() == lp.is_empty()
+            if not poly.is_empty():
+                # both interior points satisfy all constraints
+                for cell, other in ((poly, lp), (lp, poly)):
+                    p = cell.interior_point()
+                    assert other.contains(p, tol=1e-6)
+
+    def test_zero_dim(self):
+        c = Cell(0, ())
+        assert not c.is_empty()
+        assert c.interior_point().shape == (0,)
+        empty = Cell(0, (Halfspace((), -1.0),))
+        assert empty.is_empty()
+
+    def test_lp_three_dims(self):
+        region = PreferenceRegion([0.1, 0.1, 0.1], [0.3, 0.3, 0.3])
+        c = Cell.from_region(region)
+        assert c.vertices() is None  # LP path
+        assert not c.is_empty()
+        p = c.interior_point()
+        assert region.contains(p)
+        h = _h([1.0, 0.0, 0.0], 0.2)
+        assert c.side_of(h) == "split"
+        inside, outside = c.split(h)
+        assert not inside.is_empty() and not outside.is_empty()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_split_preserves_membership(seed):
+    """Random points land in exactly the child cell that contains them."""
+    rng = np.random.default_rng(seed)
+    region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+    c = Cell.from_region(region)
+    a = rng.normal(size=2)
+    b = float(a @ rng.uniform([0.1, 0.2], [0.5, 0.4]))
+    h = Halfspace.make(a, b)
+    if c.side_of(h) != "split":
+        return
+    inside, outside = c.split(h)
+    for p in region.sample(rng, 25):
+        in_in = inside.contains(p, tol=1e-9)
+        in_out = outside.contains(p, tol=1e-9)
+        assert in_in or in_out
+        # strictly interior points of one side are not in the other
+        if h.signed_slack(p) > 1e-7:
+            assert in_in and not in_out
+        elif h.signed_slack(p) < -1e-7:
+            assert in_out and not in_in

@@ -1,0 +1,105 @@
+"""Half-space and score arithmetic tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.halfspace import (
+    Halfspace,
+    expand_weights,
+    reduce_weights,
+    score,
+    score_halfspace,
+)
+
+vec3 = st.lists(
+    st.floats(0.0, 10.0, allow_nan=False), min_size=3, max_size=3
+).map(np.asarray)
+
+
+class TestScore:
+    def test_paper_example(self):
+        """S(v7) = 4.47 for weights (0.2, 0.3) and x = (2.1, 5.0, 5.1)."""
+        x = np.array([2.1, 5.0, 5.1])
+        assert score(x, np.array([0.2, 0.3])) == pytest.approx(4.47)
+
+    def test_one_dimension(self):
+        assert score(np.array([7.5]), np.zeros(0)) == 7.5
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            score(np.array([1.0, 2.0]), np.array([0.1, 0.2]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(vec3, st.floats(0.01, 0.45), st.floats(0.01, 0.45))
+    def test_reduced_equals_full(self, x, w1, w2):
+        """Reduced-form score equals the plain weighted sum."""
+        w = np.array([w1, w2])
+        full = expand_weights(w)
+        assert score(x, w) == pytest.approx(float(np.dot(full, x)))
+
+
+class TestWeights:
+    def test_expand(self):
+        w = expand_weights(np.array([0.2, 0.3]))
+        assert w == pytest.approx([0.2, 0.3, 0.5])
+
+    def test_reduce_roundtrip(self):
+        w = np.array([0.1, 0.4, 0.5])
+        assert expand_weights(reduce_weights(w)) == pytest.approx(w)
+
+    def test_reduce_validates_sum(self):
+        with pytest.raises(GeometryError):
+            reduce_weights(np.array([0.5, 0.6]))
+
+
+class TestHalfspace:
+    def test_normalized(self):
+        h = Halfspace.make(np.array([3.0, 4.0]), 10.0)
+        assert np.linalg.norm(h.a) == pytest.approx(1.0)
+        assert h.b == pytest.approx(2.0)
+
+    def test_contains(self):
+        h = Halfspace.make(np.array([1.0, 0.0]), 0.5)  # w1 <= 0.5
+        assert h.contains(np.array([0.3, 0.9]))
+        assert not h.contains(np.array([0.7, 0.0]))
+
+    def test_complement(self):
+        h = Halfspace.make(np.array([1.0, 0.0]), 0.5)
+        c = h.complement()
+        assert not c.contains(np.array([0.3, 0.0]))
+        assert c.contains(np.array([0.7, 0.0]))
+        # boundary belongs to both (closed half-spaces)
+        assert h.contains(np.array([0.5, 0.0]))
+        assert c.contains(np.array([0.5, 0.0]))
+
+    def test_degenerate(self):
+        everything = Halfspace.make(np.zeros(2), 1.0)
+        nothing = Halfspace.make(np.zeros(2), -1.0)
+        assert everything.is_degenerate and everything.degenerate_everything
+        assert nothing.is_degenerate and not nothing.degenerate_everything
+
+
+class TestScoreHalfspace:
+    @settings(max_examples=50, deadline=None)
+    @given(vec3, vec3, st.floats(0.02, 0.44), st.floats(0.02, 0.44))
+    def test_halfspace_matches_score_comparison(self, xu, xv, w1, w2):
+        """w is in score_halfspace(u, v) exactly when S(u) >= S(v)."""
+        h = score_halfspace(xu, xv)
+        w = np.array([w1, w2])
+        su, sv = score(xu, w), score(xv, w)
+        if su > sv + 1e-7:
+            assert h.contains(w)
+        elif su < sv - 1e-7:
+            assert not h.contains(w, tol=-1e-9)
+
+    def test_identical_vectors_give_everything(self):
+        x = np.array([1.0, 2.0, 3.0])
+        h = score_halfspace(x, x)
+        assert h.is_degenerate and h.degenerate_everything
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            score_halfspace(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))

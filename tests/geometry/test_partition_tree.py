@@ -1,0 +1,67 @@
+"""Algorithm 2 (Partition) tests: leaves form a partition of the root."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.cell import Cell
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.partition_tree import PartitionTree
+from repro.geometry.region import PreferenceRegion
+
+
+def _random_plane(rng, region):
+    a = rng.normal(size=region.dim)
+    point = rng.uniform(region.lows, region.highs)
+    return Halfspace.make(a, float(a @ point))
+
+
+class TestPartitionTree:
+    def test_single_leaf_initially(self, paper_region):
+        tree = PartitionTree(Cell.from_region(paper_region))
+        assert tree.num_leaves == 1
+
+    def test_crossing_plane_splits(self, paper_region):
+        tree = PartitionTree(Cell.from_region(paper_region))
+        tree.insert(Halfspace.make(np.array([1.0, 0.0]), 0.3))
+        assert tree.num_leaves == 2
+
+    def test_covering_plane_is_noop(self, paper_region):
+        tree = PartitionTree(Cell.from_region(paper_region))
+        tree.insert(Halfspace.make(np.array([1.0, 0.0]), 0.9))
+        assert tree.num_leaves == 1
+
+    def test_nested_splits(self, paper_region):
+        tree = PartitionTree(Cell.from_region(paper_region))
+        tree.insert(Halfspace.make(np.array([1.0, 0.0]), 0.3))
+        tree.insert(Halfspace.make(np.array([0.0, 1.0]), 0.3))
+        assert tree.num_leaves == 4
+        # a plane crossing only the left cells splits exactly those
+        tree.insert(Halfspace.make(np.array([1.0, 0.0]), 0.2))
+        assert tree.num_leaves == 6
+
+    def test_leaves_iteration_matches_count(self, paper_region):
+        tree = PartitionTree(Cell.from_region(paper_region))
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            tree.insert(_random_plane(rng, paper_region))
+        assert len(list(tree.leaves())) == tree.num_leaves
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 5_000), st.integers(1, 7))
+def test_leaves_partition_region(seed, num_planes):
+    """Random interior points belong to exactly one leaf cell."""
+    rng = np.random.default_rng(seed)
+    region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+    tree = PartitionTree(Cell.from_region(region))
+    planes = [_random_plane(rng, region) for _ in range(num_planes)]
+    for h in planes:
+        tree.insert(h)
+    leaves = list(tree.leaves())
+    for p in region.sample(rng, 30):
+        margin = min(abs(h.signed_slack(p)) for h in planes)
+        if margin < 1e-6:
+            continue  # points on a boundary may belong to two cells
+        owners = [c for c in leaves if c.contains(p, tol=1e-9)]
+        assert len(owners) == 1

@@ -1,0 +1,118 @@
+"""Preference-learning (region-from-feedback) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.halfspace import score
+from repro.geometry.preference_learning import LearnedRegion
+
+
+class TestConstruction:
+    def test_needs_two_dimensions(self):
+        with pytest.raises(GeometryError):
+            LearnedRegion(1)
+
+    def test_margin_validation(self):
+        with pytest.raises(GeometryError):
+            LearnedRegion(3, margin=0.6)
+
+    def test_starts_consistent(self):
+        lr = LearnedRegion(3)
+        assert lr.is_consistent()
+        assert lr.num_comparisons == 0
+        w = lr.center()
+        assert w.shape == (2,)
+
+
+class TestObserve:
+    def test_shrinks_toward_true_preference(self):
+        """Feedback generated from a hidden weight must keep it inside."""
+        rng = np.random.default_rng(0)
+        true_w = np.array([0.25, 0.35])
+        lr = LearnedRegion(3)
+        for _ in range(40):
+            a, b = rng.uniform(0, 10, (2, 3))
+            if score(a, true_w) >= score(b, true_w):
+                lr.observe(a, b)
+            else:
+                lr.observe(b, a)
+        assert lr.is_consistent()
+        assert lr.contains(true_w)
+        box = lr.bounding_region()
+        assert box.contains(true_w)
+        # learning genuinely narrowed the estimate
+        assert box.volume() < 0.5 * LearnedRegion(3).bounding_region().volume()
+
+    def test_inconsistent_feedback_rejected(self):
+        lr = LearnedRegion(3)
+        a = np.array([9.0, 1.0, 1.0])
+        b = np.array([1.0, 9.0, 9.0])
+        assert lr.observe(a, b)
+        # squeeze until the opposite judgement cannot hold anywhere
+        for _ in range(5):
+            lr.observe(a, b)
+        accepted = lr.observe(b, a)
+        if not accepted:
+            assert lr.is_consistent()  # state preserved
+
+    def test_dimension_check(self):
+        lr = LearnedRegion(3)
+        with pytest.raises(GeometryError):
+            lr.observe([1.0, 2.0], [3.0, 4.0])
+
+    def test_equal_items_are_noop_consistent(self):
+        lr = LearnedRegion(3)
+        x = np.array([5.0, 5.0, 5.0])
+        assert lr.observe(x, x)
+        assert lr.is_consistent()
+
+
+class TestBoundingRegion:
+    def test_box_encloses_estimate_center(self):
+        lr = LearnedRegion(3)
+        lr.observe([9.0, 5.0, 1.0], [1.0, 5.0, 9.0])
+        box = lr.bounding_region()
+        assert box.contains(lr.center())
+
+    def test_four_dimensions_uses_lp_support(self):
+        lr = LearnedRegion(4)
+        rng = np.random.default_rng(1)
+        true_w = np.array([0.2, 0.25, 0.2])
+        for _ in range(25):
+            a, b = rng.uniform(0, 10, (2, 4))
+            if score(a, true_w) >= score(b, true_w):
+                lr.observe(a, b)
+            else:
+                lr.observe(b, a)
+        box = lr.bounding_region()
+        assert box.dim == 3
+        assert box.contains(lr.center())
+
+    def test_feeds_mac_search(self, paper_network):
+        """The learned box plugs straight into the MAC pipeline."""
+        from repro import mac_search
+
+        lr = LearnedRegion(3)
+        lr.observe([9.0, 5.0, 2.0], [2.0, 5.0, 9.0])
+        region = lr.bounding_region()
+        res = mac_search(paper_network, [2, 3, 6], 3, 9.0, region)
+        assert not res.is_empty
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_consistent_feedback_always_keeps_truth(seed):
+    rng = np.random.default_rng(seed)
+    true_w = rng.uniform(0.1, 0.35, 2)
+    lr = LearnedRegion(3)
+    for _ in range(15):
+        a, b = rng.uniform(0, 10, (2, 3))
+        if score(a, true_w) >= score(b, true_w):
+            ok = lr.observe(a, b)
+        else:
+            ok = lr.observe(b, a)
+        assert ok, "truthful feedback can never be inconsistent"
+    assert lr.contains(true_w)

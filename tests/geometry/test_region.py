@@ -1,0 +1,79 @@
+"""PreferenceRegion tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.region import PreferenceRegion
+
+
+class TestValidation:
+    def test_paper_region(self, paper_region):
+        assert paper_region.dim == 2
+        assert paper_region.num_attributes == 3
+
+    def test_lo_above_hi_rejected(self):
+        with pytest.raises(GeometryError):
+            PreferenceRegion([0.5], [0.4])
+
+    def test_outside_unit_interval_rejected(self):
+        with pytest.raises(GeometryError):
+            PreferenceRegion([0.0], [0.5])
+        with pytest.raises(GeometryError):
+            PreferenceRegion([0.5], [1.0])
+
+    def test_sum_of_highs_must_leave_room(self):
+        """The dropped weight w_d must stay positive."""
+        with pytest.raises(GeometryError):
+            PreferenceRegion([0.4, 0.4], [0.6, 0.5])
+
+    def test_mismatched_bounds(self):
+        with pytest.raises(GeometryError):
+            PreferenceRegion([0.1, 0.2], [0.3])
+
+    def test_zero_dim_region(self):
+        r = PreferenceRegion()
+        assert r.dim == 0
+        assert r.num_attributes == 1
+        assert r.corners().shape == (1, 0)
+        assert r.volume() == 1.0
+
+
+class TestGeometry:
+    def test_corners_paper_region(self, paper_region):
+        corners = {tuple(c) for c in paper_region.corners()}
+        assert corners == {
+            (0.1, 0.2), (0.1, 0.4), (0.5, 0.2), (0.5, 0.4)
+        }
+
+    def test_pivot_is_center(self, paper_region):
+        assert paper_region.pivot() == pytest.approx([0.3, 0.3])
+
+    def test_contains(self, paper_region):
+        assert paper_region.contains(np.array([0.3, 0.3]))
+        assert paper_region.contains(np.array([0.1, 0.2]))  # corner
+        assert not paper_region.contains(np.array([0.6, 0.3]))
+        assert not paper_region.contains(np.array([0.3]))  # wrong dim
+
+    def test_halfspaces_describe_box(self, paper_region):
+        hs = paper_region.halfspaces()
+        assert len(hs) == 4
+        inside = np.array([0.3, 0.3])
+        outside = np.array([0.05, 0.3])
+        assert all(h.contains(inside) for h in hs)
+        assert not all(h.contains(outside) for h in hs)
+
+    def test_samples_inside(self, paper_region):
+        rng = np.random.default_rng(0)
+        pts = paper_region.sample(rng, 50)
+        assert pts.shape == (50, 2)
+        for p in pts:
+            assert paper_region.contains(p)
+
+    def test_volume(self, paper_region):
+        assert paper_region.volume() == pytest.approx(0.4 * 0.2)
+
+    def test_from_sigma(self):
+        r = PreferenceRegion.from_sigma([0.3, 0.3], 0.01)
+        assert r.highs - r.lows == pytest.approx([0.01, 0.01])
+        assert r.pivot() == pytest.approx([0.3, 0.3])

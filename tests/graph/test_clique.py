@@ -1,0 +1,95 @@
+"""k-clique substrate tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.clique import (
+    k_clique_communities,
+    k_clique_community_containing,
+    k_cliques,
+    maximal_cliques,
+)
+
+from tests.conftest import paper_social_graph, random_graph
+
+
+def _to_nx(g):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestMaximalCliques:
+    def test_triangle_plus_edge(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        cliques = set(maximal_cliques(g))
+        assert frozenset({1, 2, 3}) in cliques
+        assert frozenset({3, 4}) in cliques
+
+    def test_matches_networkx_on_paper_graph(self):
+        g = paper_social_graph()
+        ours = set(maximal_cliques(g))
+        theirs = {frozenset(c) for c in nx.find_cliques(_to_nx(g))}
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_random(self, seed):
+        g = random_graph(12, 0.4, seed=seed)
+        ours = set(maximal_cliques(g))
+        theirs = {frozenset(c) for c in nx.find_cliques(_to_nx(g))}
+        assert ours == theirs
+
+
+class TestKCliques:
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            k_cliques(AdjacencyGraph(), 0)
+
+    def test_k4_in_paper_graph(self):
+        """{v2,v3,v6,v7} is a K4 of Fig. 1(a)."""
+        g = paper_social_graph()
+        assert frozenset({2, 3, 6, 7}) in k_cliques(g, 4)
+
+    def test_every_k_clique_is_complete(self):
+        g = random_graph(11, 0.5, seed=9)
+        for clique in k_cliques(g, 3):
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    assert g.has_edge(u, v)
+
+
+class TestKCliqueCommunities:
+    def test_matches_networkx_percolation(self):
+        g = paper_social_graph()
+        ours = set(k_clique_communities(g, 3))
+        theirs = {
+            frozenset(c)
+            for c in nx.community.k_clique_communities(_to_nx(g), 3)
+        }
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_networkx_random(self, seed, k):
+        g = random_graph(12, 0.45, seed=seed + 30)
+        ours = set(k_clique_communities(g, k))
+        theirs = {
+            frozenset(c)
+            for c in nx.community.k_clique_communities(_to_nx(g), k)
+        }
+        assert ours == theirs
+
+    def test_containing_query(self):
+        g = paper_social_graph()
+        community = k_clique_community_containing(g, [2, 6], 4)
+        assert community is not None
+        assert {2, 3, 6, 7} <= community
+        assert k_clique_community_containing(g, [14], 4) is None
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(GraphError):
+            k_clique_community_containing(paper_social_graph(), [], 3)

@@ -1,0 +1,153 @@
+"""Core-decomposition and k-core tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import (
+    core_decomposition,
+    coreness_upper_bound,
+    k_core_containing,
+    peel_to_k_core,
+)
+
+from tests.conftest import paper_social_graph, random_graph
+
+
+def _to_nx(g: AdjacencyGraph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestCoreDecomposition:
+    def test_triangle(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 1)])
+        assert core_decomposition(g) == {1: 2, 2: 2, 3: 2}
+
+    def test_star(self):
+        g = AdjacencyGraph([(0, i) for i in range(1, 6)])
+        core = core_decomposition(g)
+        assert core[0] == 1
+        assert all(core[i] == 1 for i in range(1, 6))
+
+    def test_clique_plus_tail(self):
+        g = AdjacencyGraph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (4, 5), (5, 6)]
+        )
+        core = core_decomposition(g)
+        assert core[1] == core[2] == core[3] == core[4] == 3
+        assert core[5] == core[6] == 1
+
+    def test_empty(self):
+        assert core_decomposition(AdjacencyGraph()) == {}
+
+    def test_matches_networkx_on_paper_graph(self):
+        g = paper_social_graph()
+        assert core_decomposition(g) == nx.core_number(_to_nx(g))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500))
+    def test_matches_networkx_random(self, seed):
+        g = random_graph(20, 0.2, seed=seed)
+        assert core_decomposition(g) == nx.core_number(_to_nx(g))
+
+
+class TestPeelToKCore:
+    def test_negative_k_rejected(self):
+        with pytest.raises(GraphError):
+            peel_to_k_core(AdjacencyGraph(), -1)
+
+    def test_zero_core_is_whole_graph(self):
+        g = paper_social_graph()
+        assert set(peel_to_k_core(g, 0).vertices()) == set(g.vertices())
+
+    def test_does_not_mutate_input(self):
+        g = paper_social_graph()
+        n0, m0 = g.num_vertices, g.num_edges
+        peel_to_k_core(g, 3)
+        assert (g.num_vertices, g.num_edges) == (n0, m0)
+
+    def test_min_degree_invariant(self):
+        g = paper_social_graph()
+        for k in range(1, 5):
+            core = peel_to_k_core(g, k)
+            if core.num_vertices:
+                assert core.min_degree() >= k
+
+    def test_matches_core_numbers(self):
+        g = paper_social_graph()
+        numbers = core_decomposition(g)
+        for k in range(1, 5):
+            core = peel_to_k_core(g, k)
+            expected = {v for v, c in numbers.items() if c >= k}
+            assert set(core.vertices()) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 300), st.integers(1, 5))
+    def test_maximality_random(self, seed, k):
+        """No vertex outside the k-core can be added back (maximality)."""
+        g = random_graph(18, 0.25, seed=seed)
+        core = peel_to_k_core(g, k)
+        members = set(core.vertices())
+        numbers = core_decomposition(g)
+        for v in g.vertices():
+            if v not in members:
+                assert numbers[v] < k
+
+
+class TestKCoreContaining:
+    def test_paper_example_h93(self):
+        """H^9_3 social side: the 3-ĉore containing {v2,v3,v6} is v1..v7
+        (before any road filtering)."""
+        g = paper_social_graph()
+        core = k_core_containing(g, [2, 3, 6], 3)
+        assert core is not None
+        assert set(core.vertices()) == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_missing_query_vertex(self):
+        g = paper_social_graph()
+        assert k_core_containing(g, [99], 1) is None
+
+    def test_query_peeled_out(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert k_core_containing(g, [4], 2) is None
+
+    def test_query_split_across_components(self):
+        g = AdjacencyGraph(
+            [(1, 2), (2, 3), (3, 1), (4, 5), (5, 6), (6, 4)]
+        )
+        assert k_core_containing(g, [1, 4], 2) is None
+        assert k_core_containing(g, [1, 2], 2) is not None
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(GraphError):
+            k_core_containing(AdjacencyGraph([(1, 2)]), [], 1)
+
+    def test_result_is_connected_and_contains_query(self):
+        g = paper_social_graph()
+        core = k_core_containing(g, [2], 2)
+        assert core is not None
+        assert core.is_connected()
+        assert 2 in core
+        assert core.min_degree() >= 2
+
+
+class TestCorenessUpperBound:
+    def test_formula_examples(self):
+        # n=7, m=15 (paper cluster): bound = (1 + sqrt(9 + 64)) / 2 = 4
+        assert coreness_upper_bound(7, 15) >= 3
+        assert coreness_upper_bound(0, 0) == 0
+        assert coreness_upper_bound(5, 2) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 400))
+    def test_bound_is_valid_random(self, seed):
+        g = random_graph(16, 0.3, seed=seed)
+        numbers = core_decomposition(g)
+        k_max = max(numbers.values(), default=0)
+        assert coreness_upper_bound(g.num_vertices, g.num_edges) >= k_max

@@ -1,0 +1,96 @@
+"""k-truss tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.truss import k_truss, k_truss_containing, truss_decomposition
+
+from tests.conftest import paper_social_graph, random_graph
+
+
+def _to_nx(g):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestKTruss:
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(GraphError):
+            k_truss(AdjacencyGraph(), 1)
+
+    def test_triangle_is_3_truss(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 1)])
+        t = k_truss(g, 3)
+        assert set(t.vertices()) == {1, 2, 3}
+
+    def test_tree_has_no_3_truss(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 4)])
+        assert k_truss(g, 3).num_vertices == 0
+
+    def test_k4_is_4_truss(self):
+        g = AdjacencyGraph(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (4, 5)]
+        )
+        t = k_truss(g, 4)
+        assert set(t.vertices()) == {1, 2, 3, 4}
+
+    def test_matches_networkx_on_paper_graph(self):
+        g = paper_social_graph()
+        for k in (3, 4, 5):
+            ours = k_truss(g, k)
+            theirs = nx.k_truss(_to_nx(g), k)
+            assert set(ours.vertices()) == set(theirs.nodes())
+            assert ours.num_edges == theirs.number_of_edges()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 200), st.integers(3, 5))
+    def test_matches_networkx_random(self, seed, k):
+        g = random_graph(14, 0.35, seed=seed)
+        ours = k_truss(g, k)
+        theirs = nx.k_truss(_to_nx(g), k)
+        assert set(ours.vertices()) == set(theirs.nodes())
+        assert ours.num_edges == theirs.number_of_edges()
+
+
+class TestTrussDecomposition:
+    def test_truss_numbers_consistent_with_k_truss(self):
+        g = paper_social_graph()
+        numbers = truss_decomposition(g)
+        for k in (3, 4):
+            expected_edges = {
+                e for e, tn in numbers.items() if tn >= k
+            }
+            truss = k_truss(g, k)
+            actual_edges = {
+                tuple(sorted(e)) for e in truss.edges()
+            }
+            assert actual_edges == expected_edges
+
+    def test_every_edge_has_a_number(self):
+        g = paper_social_graph()
+        numbers = truss_decomposition(g)
+        assert len(numbers) == g.num_edges
+        assert all(tn >= 2 for tn in numbers.values())
+
+
+class TestKTrussContaining:
+    def test_paper_cluster(self):
+        g = paper_social_graph()
+        t = k_truss_containing(g, [2, 6], 4)
+        assert t is not None
+        assert {2, 6} <= set(t.vertices())
+        assert t.is_connected()
+
+    def test_unreachable_query(self):
+        g = AdjacencyGraph([(1, 2), (2, 3), (3, 1)])
+        assert k_truss_containing(g, [99], 3) is None
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(GraphError):
+            k_truss_containing(AdjacencyGraph([(1, 2)]), [], 3)

@@ -1,0 +1,145 @@
+"""Shortest-path tests, cross-checked against networkx and the paper."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.road.dijkstra import (
+    bounded_dijkstra,
+    dijkstra,
+    network_distance,
+    query_distances,
+)
+from repro.road.network import RoadNetwork, SpatialPoint
+
+from tests.conftest import paper_road
+
+
+def _to_nx(road: RoadNetwork) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(road.vertices())
+    for u, v, w in road.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def _random_road(n: int, seed: int) -> RoadNetwork:
+    rng = np.random.default_rng(seed)
+    road = RoadNetwork()
+    for v in range(n):
+        road.add_vertex(v, tuple(rng.uniform(0, 100, 2)))
+    for v in range(1, n):
+        u = int(rng.integers(v))
+        road.add_edge(u, v, float(rng.uniform(1, 10)))
+    extra = n // 2
+    for _ in range(extra):
+        u, v = rng.integers(n, size=2)
+        if u != v:
+            road.add_edge(int(u), int(v), float(rng.uniform(1, 10)))
+    return road
+
+
+class TestPaperDistances:
+    """The exact numbers the paper derives from Fig. 1(b)."""
+
+    def test_dist_r7_r6_is_7(self, road):
+        assert network_distance(road, 7, 6) == pytest.approx(7.0)
+
+    def test_dist_r3_r6_is_9(self, road):
+        assert network_distance(road, 3, 6) == pytest.approx(9.0)
+
+    def test_query_distance_of_v7(self, road):
+        """D_Q(v7) = 7 for Q = {v2, v3, v6} (Section II-B)."""
+        points = [SpatialPoint.at_vertex(q) for q in (2, 3, 6)]
+        dq = query_distances(road, points)
+        assert dq[7] == pytest.approx(7.0)
+
+    def test_query_distance_of_subgraph(self, road):
+        """D_Q({v2,v3,v6,v7}) = dist(r3, r6) = 9."""
+        points = [SpatialPoint.at_vertex(q) for q in (2, 3, 6)]
+        dq = query_distances(road, points)
+        assert max(dq[v] for v in (2, 3, 6, 7)) == pytest.approx(9.0)
+
+    def test_periphery_beyond_t9(self, road):
+        points = [SpatialPoint.at_vertex(q) for q in (2, 3, 6)]
+        dq = query_distances(road, points, bound=9.0)
+        assert set(dq) == {1, 2, 3, 4, 5, 6, 7}
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_source_matches(self, seed):
+        road = _random_road(40, seed)
+        expected = nx.single_source_dijkstra_path_length(
+            _to_nx(road), 0, weight="weight"
+        )
+        actual = dijkstra(road, 0)
+        assert set(actual) == set(expected)
+        for v, d in expected.items():
+            assert actual[v] == pytest.approx(d)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bounded_is_prefix(self, seed):
+        road = _random_road(40, seed)
+        full = dijkstra(road, 0)
+        bound = float(np.median(list(full.values())))
+        limited = bounded_dijkstra(road, 0, bound)
+        assert set(limited) == {v for v, d in full.items() if d <= bound}
+        for v, d in limited.items():
+            assert d == pytest.approx(full[v])
+
+
+class TestEdgePoints:
+    def test_source_on_edge(self):
+        road = RoadNetwork()
+        road.add_edge(1, 2, 10.0)
+        road.add_edge(2, 3, 5.0)
+        p = SpatialPoint.on_edge(1, 2, 4.0)
+        d = dijkstra(road, p)
+        assert d[1] == pytest.approx(4.0)
+        assert d[2] == pytest.approx(6.0)
+        assert d[3] == pytest.approx(11.0)
+
+    def test_same_edge_shortcut(self):
+        """Two points on one edge: along-edge path may beat endpoints."""
+        road = RoadNetwork()
+        road.add_edge(1, 2, 10.0)
+        road.add_edge(1, 3, 1.0)
+        road.add_edge(3, 2, 1.0)
+        a = SpatialPoint.on_edge(1, 2, 4.0)
+        b = SpatialPoint.on_edge(1, 2, 5.0)
+        assert network_distance(road, a, b) == pytest.approx(1.0)
+
+    def test_same_edge_opposite_orientation(self):
+        road = RoadNetwork()
+        road.add_edge(1, 2, 10.0)
+        a = SpatialPoint.on_edge(1, 2, 4.0)
+        b = SpatialPoint.on_edge(2, 1, 5.0)  # = offset 5 from u=2
+        assert network_distance(road, a, b) == pytest.approx(1.0)
+
+    def test_disconnected_is_inf(self):
+        road = RoadNetwork()
+        road.add_edge(1, 2, 1.0)
+        road.add_vertex(9)
+        assert math.isinf(network_distance(road, 1, 9))
+
+
+class TestQueryDistances:
+    def test_max_aggregation(self):
+        road = paper_road()
+        points = [SpatialPoint.at_vertex(q) for q in (2, 6)]
+        dq = query_distances(road, points)
+        d2 = dijkstra(road, 2)
+        d6 = dijkstra(road, 6)
+        for v, d in dq.items():
+            assert d == pytest.approx(max(d2[v], d6[v]))
+
+    def test_bound_filters_every_query(self):
+        road = paper_road()
+        points = [SpatialPoint.at_vertex(q) for q in (2, 6)]
+        dq = query_distances(road, points, bound=5.0)
+        assert all(d <= 5.0 for d in dq.values())
+        # v4 is within 5 of r2 but 8 of r6 -> excluded.
+        assert 4 not in dq

@@ -1,0 +1,58 @@
+"""Adapted BBS traversal tests (Section IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.halfspace import score
+from repro.geometry.region import PreferenceRegion
+from repro.spatial.bbs import bbs_order
+from repro.spatial.rtree import RTree
+
+
+@pytest.fixture
+def region():
+    return PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+class TestBBSOrder:
+    def test_emits_every_payload_once(self, region):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10, size=(80, 3))
+        t = RTree(pts, capacity=4)
+        out = [payload for payload, _s in bbs_order(t, region)]
+        assert sorted(out) == list(range(80))
+
+    def test_scores_non_increasing(self, region):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, size=(100, 3))
+        t = RTree(pts, capacity=8)
+        pivot = region.pivot()
+        emitted = list(bbs_order(t, region))
+        for (p1, s1), (p2, s2) in zip(emitted, emitted[1:]):
+            assert s1 >= s2 - 1e-9
+        for payload, s in emitted:
+            assert s == pytest.approx(score(pts[payload], pivot))
+
+    def test_deterministic(self, region):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 10, size=(60, 3))
+        t1 = RTree(pts, capacity=4)
+        t2 = RTree(pts, capacity=4)
+        assert list(bbs_order(t1, region)) == list(bbs_order(t2, region))
+
+    def test_empty_tree(self, region):
+        t = RTree(np.zeros((0, 3)))
+        assert list(bbs_order(t, region)) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2_000))
+    def test_order_is_global_sort(self, seed):
+        """BBS emission equals sorting by pivot score (the heap invariant)."""
+        region = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(40, 3))
+        t = RTree(pts, capacity=4)
+        emitted = [s for _p, s in bbs_order(t, region)]
+        assert emitted == sorted(emitted, reverse=True)

@@ -1,0 +1,89 @@
+"""R-tree tests: STR packing invariants and box-query correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.spatial.rtree import RTree
+
+
+def _check_mbbs(node):
+    """Every node's MBB must enclose its children/entries (recursively)."""
+    if node.is_leaf:
+        for p, _payload in node.entries:
+            assert np.all(p >= node.lower - 1e-12)
+            assert np.all(p <= node.upper + 1e-12)
+    else:
+        for child in node.children:
+            assert np.all(child.lower >= node.lower - 1e-12)
+            assert np.all(child.upper <= node.upper + 1e-12)
+            _check_mbbs(child)
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = RTree(np.zeros((0, 3)))
+        assert t.root is None
+        assert list(t.all_entries()) == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(GeometryError):
+            RTree(np.zeros((4, 2)), capacity=1)
+
+    def test_payload_length_validation(self):
+        with pytest.raises(GeometryError):
+            RTree(np.zeros((4, 2)), payloads=[1, 2, 3])
+
+    def test_single_point(self):
+        t = RTree([[1.0, 2.0]], payloads=["a"])
+        entries = list(t.all_entries())
+        assert len(entries) == 1
+        assert entries[0][1] == "a"
+
+    @pytest.mark.parametrize("n", [5, 33, 150, 1000])
+    def test_all_entries_present(self, n):
+        rng = np.random.default_rng(n)
+        pts = rng.uniform(0, 10, size=(n, 3))
+        t = RTree(pts, capacity=8)
+        assert t.size == n
+        assert len(list(t.all_entries())) == n
+        _check_mbbs(t.root)
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(1)
+        t = RTree(rng.uniform(0, 1, size=(500, 2)), capacity=10)
+
+        def check(node):
+            if node.is_leaf:
+                assert len(node.entries) <= 10
+            else:
+                assert len(node.children) <= 10
+                for c in node.children:
+                    check(c)
+
+        check(t.root)
+
+
+class TestQueryBox:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(120, 3))
+        t = RTree(pts, capacity=6)
+        lo = rng.uniform(0, 5, size=3)
+        hi = lo + rng.uniform(0, 5, size=3)
+        expected = {
+            i
+            for i in range(len(pts))
+            if np.all(pts[i] >= lo) and np.all(pts[i] <= hi)
+        }
+        actual = {payload for _p, payload in t.query_box(lo, hi)}
+        assert actual == expected
+
+    def test_empty_box(self):
+        rng = np.random.default_rng(0)
+        t = RTree(rng.uniform(0, 1, size=(50, 2)))
+        assert list(t.query_box([5, 5], [6, 6])) == []

@@ -1,0 +1,67 @@
+"""CLI, summary and DOT-export tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.api import gs_nc
+from repro.dominance.graph import DominanceGraph
+
+from tests.conftest import paper_attributes
+
+
+class TestCLI:
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "sf+slashdot", "--scale",
+                     "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "k_max" in out
+
+    def test_search(self, capsys):
+        code = main([
+            "search", "--dataset", "sf+slashdot", "--scale", "0.1",
+            "--k", "4", "--query-size", "2", "--members",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAC search" in out
+
+    def test_case(self, capsys):
+        assert main(["case", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Jiawei Han" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSummary:
+    def test_summary_nonempty(self, paper_network, paper_region):
+        res = gs_nc(paper_network, [2, 3, 6], 3, 9.0, paper_region)
+        text = res.summary()
+        assert "partition" in text
+        assert "|H^t_k|=7" in text
+
+    def test_summary_empty(self, paper_network, paper_region):
+        res = gs_nc(paper_network, [2], 6, 9.0, paper_region)
+        assert "no communities" in res.summary()
+
+    def test_summary_truncates(self, paper_network, paper_region):
+        res = gs_nc(paper_network, [2, 3, 6], 3, 9.0, paper_region)
+        text = res.summary(max_rows=0)
+        assert "more" in text or len(res.partitions) == 0
+
+
+class TestDotExport:
+    def test_fig4b_dot(self, paper_region):
+        attrs = {v: np.asarray(x) for v, x in paper_attributes().items()
+                 if v <= 7}
+        gd = DominanceGraph(attrs, paper_region)
+        dot = gd.to_dot(labels={v: f"v{v}" for v in range(1, 8)})
+        assert dot.startswith("digraph Gd {")
+        assert '"2" -> "3"' in dot
+        assert '"4" -> "1"' in dot
+        assert '"3" -> "7"' in dot
+        assert '"2" -> "7"' not in dot  # transitive reduction
+        assert dot.count("rank=same") == 3  # three layers

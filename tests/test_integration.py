@@ -1,0 +1,121 @@
+"""End-to-end integration tests on generated road-social networks.
+
+These exercise the full pipeline (generator → range filter → (k,t)-core →
+Gd → GS/LS → partitions) at a small scale and assert the cross-algorithm
+consistency properties that the paper's experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PreferenceRegion, datasets, gs_nc, gs_topj, ls_nc, ls_topj
+from repro.core.peeling import nc_mac_at, top_j_at
+from repro.dominance.graph import DominanceGraph
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    ds = datasets.load_dataset("sf+slashdot", scale=0.2, seed=7)
+    return ds
+
+
+@pytest.fixture(scope="module")
+def region():
+    return PreferenceRegion.from_sigma([0.33, 0.33], 0.01)
+
+
+def _query(ds, k, t, seed=1):
+    return ds.suggest_query(3, k=k, t=t, seed=seed)
+
+
+class TestPipeline:
+    def test_gs_and_ls_agree_at_default_sigma(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 6, ds.default_t)
+        gs = gs_nc(ds.network, q, 6, ds.default_t, region)
+        ls = ls_nc(ds.network, q, 6, ds.default_t, region)
+        assert not gs.is_empty
+        assert ls.nc_communities() <= gs.nc_communities()
+        # Fig. 12 behaviour: at the default sigma the ratio is ~1.
+        assert len(ls.nc_communities()) >= max(
+            1, int(0.7 * len(gs.nc_communities()))
+        )
+
+    def test_gs_partitions_agree_with_oracle(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 6, ds.default_t)
+        res = gs_nc(ds.network, q, 6, ds.default_t, region)
+        kt = ds.network.maximal_kt_core(q, 6, ds.default_t)
+        attrs = ds.network.social.attributes_for(kt.graph.vertices())
+        gd = DominanceGraph(attrs, region)
+        rng = np.random.default_rng(0)
+        for w in region.sample(rng, 10):
+            owners = [e for e in res.partitions if e.cell.contains(w, 1e-9)]
+            assert owners
+            scores = {v: gd.score_at(v, w) for v in kt.vertices}
+            expected = nc_mac_at(kt.graph, q, 6, scores)
+            assert any(e.best.members == expected for e in owners)
+
+    def test_topj_chains_nested(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 6, ds.default_t)
+        res = gs_topj(ds.network, q, 6, ds.default_t, region, j=3)
+        for entry in res.partitions:
+            members = [c.members for c in entry.communities]
+            for better, worse in zip(members, members[1:]):
+                assert better < worse  # strictly nested chain
+
+    def test_ls_topj_agrees_with_oracle_at_samples(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 6, ds.default_t)
+        res = ls_topj(ds.network, q, 6, ds.default_t, region, j=2)
+        kt = ds.network.maximal_kt_core(q, 6, ds.default_t)
+        attrs = ds.network.social.attributes_for(kt.graph.vertices())
+        gd = DominanceGraph(attrs, region)
+        for entry in res.partitions:
+            w = entry.sample_weight()
+            scores = {v: gd.score_at(v, w) for v in kt.vertices}
+            expected = top_j_at(kt.graph, q, 6, scores, 2)
+            assert [c.members for c in entry.communities] == expected
+
+    def test_members_respect_query_distance(self, small_world, region):
+        ds = small_world
+        t = ds.default_t
+        q = _query(ds, 6, t)
+        res = gs_nc(ds.network, q, 6, t, region)
+        dq = ds.network.query_distance_filter(q, t)
+        for entry in res.partitions:
+            for v in entry.best.members:
+                assert dq[v] <= t
+
+    def test_varying_t_monotone_htk(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 6, ds.default_t)
+        sizes = []
+        for t in (ds.default_t, ds.default_t * 1.5, ds.default_t * 2):
+            res = gs_nc(ds.network, q, 6, t, region)
+            sizes.append(res.htk_vertices)
+        assert sizes == sorted(sizes)
+
+    def test_higher_k_smaller_htk(self, small_world, region):
+        ds = small_world
+        q = _query(ds, 8, ds.default_t, seed=3)
+        r8 = gs_nc(ds.network, q, 8, ds.default_t, region)
+        r6 = gs_nc(ds.network, q, 6, ds.default_t, region)
+        assert r8.htk_vertices <= r6.htk_vertices
+
+
+class TestCaseStudySmoke:
+    def test_aminer_case_runs(self):
+        cs = datasets.aminer_case_study(
+            num_background=250, groups=10, seed=11
+        )
+        region = PreferenceRegion(
+            [0.1, 0.3, 0.05], [0.3, 0.5, 0.1]
+        )  # the Fig. 15 region (d = 4)
+        res = ls_nc(
+            cs.network, cs.query, 5, 1e9, region
+        )
+        assert not res.is_empty
+        names = cs.names(res.partitions[0].best.members)
+        assert "Jiawei Han" in names
