@@ -1,9 +1,18 @@
 """Shared benchmark harness for the paper-reproduction experiments.
 
 Every figure/table of Section VII gets one bench module; this module
-centralizes what they share: dataset/query caching, the parameter grids
+centralizes what they share: dataset/query caching, a shared
+:class:`repro.MACEngine` per dataset (so repeated (Q, k, t) runs reuse
+the prepared range-filter / core / dominance state), the parameter grids
 of Table III (scaled), region construction, algorithm runners, and series
 emission (stdout + ``benchmarks/results/*.txt``).
+
+Timing protocol note: since the engine rewiring, ``timed_search`` warms
+the prepared stages outside the timed window, so emitted times measure
+the *search phase* under amortized indexes — equally for all four
+algorithms.  The paper (and the pre-engine harness) timed the full
+pipeline per query; absolute numbers are therefore lower here, and the
+index-build cost shows up once per configuration instead of per run.
 
 Environment knobs:
 
@@ -22,7 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import PreferenceRegion, datasets, mac_search
+from repro import MACEngine, MACRequest, PreferenceRegion, datasets
 from repro.errors import DatasetError, QueryError
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
@@ -48,6 +57,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 _dataset_cache: dict = {}
 _query_cache: dict = {}
+_engine_cache: dict = {}
 
 
 def t_values_for(ds) -> tuple[float, ...]:
@@ -94,18 +104,45 @@ def queries_for(ds, size: int, k: int, t: float) -> list[tuple[int, ...]]:
     return out
 
 
+def engine_for(ds) -> MACEngine:
+    """One long-lived MACEngine per loaded dataset.
+
+    Every timed run of the same configuration grid goes through the same
+    engine, so repeated (Q, k, t) combinations — e.g. the four named
+    algorithms over one query set — stop paying the range-filter /
+    core / dominance-graph build cost more than once.  Result caching
+    is disabled: a timed run must execute its search, not replay a
+    finished one from an earlier panel with the same configuration.
+    """
+    key = id(ds.network)
+    if key not in _engine_cache:
+        _engine_cache[key] = MACEngine(ds.network, result_cache_size=0)
+    return _engine_cache[key]
+
+
 def timed_search(ds, query, k, t, region, j, algorithm_name):
-    """Run one named algorithm; returns (seconds, result)."""
+    """Run one named algorithm; returns (seconds, result).
+
+    The prepared stages are warmed *outside* the timed window, so every
+    algorithm is measured over the same amortized state — otherwise
+    whichever algorithm happens to run a configuration first would be
+    charged the one-off filter/core/dominance build cost.
+    """
     algo = "global" if algorithm_name.startswith("GS") else "local"
     problem = "topj" if algorithm_name.endswith("-T") else "nc"
-    start = time.perf_counter()
+    engine = engine_for(ds)
     try:
-        result = mac_search(
-            ds.network, query, k, t, region, j=j,
+        request = MACRequest.make(
+            query, k, t, region,
+            j=j if problem == "topj" else 1,
             algorithm=algo, problem=problem,
             max_partitions=200_000,
             time_budget=90.0,
+            label=algorithm_name,
         )
+        engine.warm(request)
+        start = time.perf_counter()
+        result = engine.search(request)
     except QueryError:
         return math.nan, None
     return time.perf_counter() - start, result

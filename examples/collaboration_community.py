@@ -9,7 +9,7 @@ prior community models it is evaluated against.
 Run:  python examples/collaboration_community.py
 """
 
-from repro import PreferenceRegion, gs_topj
+from repro import MACEngine, MACRequest, PreferenceRegion
 from repro.baselines.influential import influ_nc
 from repro.baselines.skyline import skyline_communities
 from repro.baselines.truss_attribute import attribute_truss_community
@@ -27,7 +27,14 @@ print(f"query authors: {', '.join(cs.names(cs.query))}")
 k, j = 5, 2
 region = PreferenceRegion([0.1, 0.3, 0.05], [0.3, 0.5, 0.1])
 
-result = gs_topj(net, cs.query, k, 1e9, region, j=j)
+# Local search (LS-T): the exact global partitioning of a d = 4 region
+# over the full collaboration network is a long-running analysis job
+# (the arrangement refinement explodes over 3 reduced dimensions), not
+# an example — the same trade-off the CLI's `case` command makes.
+engine = MACEngine(net)
+result = engine.search(MACRequest.make(
+    cs.query, k, 1e9, region, j=j, problem="topj", algorithm="local",
+))
 nc_macs = []
 for i, entry in enumerate(result.partitions):
     print(f"\npartition {i}:")

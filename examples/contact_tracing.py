@@ -15,12 +15,12 @@ import numpy as np
 
 from repro import (
     AdjacencyGraph,
+    MACEngine,
+    MACRequest,
     PreferenceRegion,
     RoadSocialNetwork,
     SocialNetwork,
     SpatialPoint,
-    ls_nc,
-    ls_topj,
 )
 from repro.datasets import grid_road
 
@@ -84,7 +84,13 @@ network = RoadSocialNetwork(road, SocialNetwork(graph, attributes, locations))
 k, t = 3, 150.0
 region = PreferenceRegion([0.55], [0.75])
 
-result = ls_nc(network, cases, k, t, region)
+# One engine serves the whole investigation: the staged top-3 query
+# below reuses the range filter, (k,t)-core and dominance graph this
+# first search prepares.
+engine = MACEngine(network)
+result = engine.search(
+    MACRequest.make(cases, k, t, region, algorithm="local")
+)
 print(f"confirmed cases: {cases}")
 print(f"candidate contacts within t={t}: {result.htk_vertices} users")
 print(f"LS-NC: {len(result.partitions)} partition(s) "
@@ -97,8 +103,12 @@ for entry in result.partitions:
     contacts = [u for u in group if u not in cases]
     print(f"  new contacts to trace: {contacts}")
 
-# Widen to the top-3 groups for staged testing capacity.
-staged = ls_topj(network, cases, k, t, region, j=3)
+# Widen to the top-3 groups for staged testing capacity (warm caches:
+# only the top-j local search itself runs again).
+staged = engine.search(MACRequest.make(
+    cases, k, t, region, j=3, problem="topj", algorithm="local",
+))
+print(f"\n(prepared state reused: {staged.extra['engine']['cache']})")
 entry = staged.partitions[0]
 print("\nstaged testing waves (top-3 MACs, tightest first):")
 for rank, community in enumerate(entry.communities, start=1):

@@ -16,11 +16,12 @@ import numpy as np
 
 from repro import (
     AdjacencyGraph,
+    MACEngine,
+    MACRequest,
     PreferenceRegion,
     RoadSocialNetwork,
     SocialNetwork,
     SpatialPoint,
-    gs_topj,
 )
 from repro.datasets import grid_road
 
@@ -81,7 +82,13 @@ k, t = 5, 120.0
 # assists the rest — an uncertain preference, not a point.
 region = PreferenceRegion([0.50, 0.20], [0.60, 0.30])
 
-result = gs_topj(network, captains, k, t, region, j=2)
+engine = MACEngine(network)
+request = MACRequest.make(
+    captains, k, t, region, j=2, problem="topj", algorithm="global",
+    label="rebuild-squad",
+)
+print(engine.explain(request).summary(), end="\n\n")
+result = engine.search(request)
 if result.is_empty:
     print("no feasible squad for these captains — relax k or t")
 else:

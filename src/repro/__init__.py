@@ -8,16 +8,21 @@ k-truss peeling, R-tree + BBS, preference-domain geometry) and the
 baselines they are evaluated against (influential and skyline community
 search).
 
-Quickstart::
+Quickstart (the stateful engine API — preferred)::
 
-    from repro import datasets, mac_search, PreferenceRegion
+    from repro import MACEngine, MACRequest, PreferenceRegion, datasets
 
     net = datasets.load_dataset("sf+slashdot", scale=0.02, seed=7)
+    engine = MACEngine(net.network)
     region = PreferenceRegion([0.30, 0.30], [0.36, 0.36])   # d = 3
-    result = mac_search(net.network, net.suggest_query(4, k=8, t=250),
-                        k=8, t=250, region=region, algorithm="local")
+    request = MACRequest.make(net.suggest_query(4, k=8, t=250),
+                              k=8, t=250, region=region)
+    result = engine.search(request)       # repeated calls reuse indexes
     for entry in result.partitions:
         print(entry.cell, sorted(entry.best.members))
+
+One-shot free functions (``mac_search`` and the GS/LS wrappers) remain
+available for scripts that run a single query; see ``ENGINE.md``.
 """
 
 from repro.core.api import (
@@ -27,6 +32,12 @@ from repro.core.api import (
     ls_nc,
     ls_topj,
     mac_search,
+)
+from repro.engine import (
+    EngineTelemetry,
+    MACEngine,
+    MACRequest,
+    QueryPlan,
 )
 from repro.core.query import Community, MACQuery, PartitionEntry
 from repro.dominance.graph import DominanceGraph
@@ -47,6 +58,10 @@ from repro.social.roadsocial import RoadSocialNetwork
 __version__ = "1.0.0"
 
 __all__ = [
+    "MACEngine",
+    "MACRequest",
+    "QueryPlan",
+    "EngineTelemetry",
     "mac_search",
     "gs_topj",
     "gs_nc",

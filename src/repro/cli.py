@@ -3,20 +3,26 @@
 Commands
 --------
 ``stats``   — Table-II style statistics of a generated dataset.
-``search``  — run a MAC query on a generated dataset and print the
-              resulting partitions.
+``search``  — run one MAC query on a generated dataset through the
+              query engine and print the resulting partitions
+              (``--explain`` prints the resolved plan instead).
+``batch``   — run many MAC queries from a JSONL file through one shared
+              :class:`~repro.engine.MACEngine` (see ENGINE.md for the
+              line format), optionally in parallel.
 ``case``    — the Aminer-style case study with author names.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
-from repro import PreferenceRegion, datasets, mac_search
+from repro import MACEngine, MACRequest, PreferenceRegion, datasets
 from repro.datasets.registry import DATASET_NAMES
+from repro.errors import QueryError, ReproError
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -25,6 +31,29 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=7)
+
+
+def resolve_search_defaults(
+    ds,
+    scale: float,
+    dimensions: int,
+    t: float | None = None,
+    sigma: float = 0.01,
+    center: list[float] | None = None,
+) -> tuple[float, PreferenceRegion]:
+    """Resolve the default ``t`` and preference region for a dataset.
+
+    One shared implementation for the ``search`` and ``batch`` commands:
+    ``t`` defaults to the dataset's registry value scaled by the road
+    extent (sqrt of the scale factor), and the region is a ``sigma``-side
+    box around ``center`` (default: 0.9/d per reduced axis, the same
+    always-feasible center the benchmark harness uses).
+    """
+    if t is None:
+        t = ds.default_t * scale ** 0.5
+    if center is None:
+        center = [0.9 / dimensions] * (dimensions - 1)
+    return t, PreferenceRegion.centered(center, sigma)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -38,28 +67,188 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
+    if args.j < 1:
+        raise QueryError(f"--j must be >= 1, got {args.j}")
     ds = datasets.load_dataset(
         args.dataset, scale=args.scale, seed=args.seed,
         dimensions=args.dimensions,
     )
-    t = args.t if args.t is not None else ds.default_t * args.scale ** 0.5
+    t, region = resolve_search_defaults(
+        ds, args.scale, args.dimensions, t=args.t, sigma=args.sigma
+    )
     query = ds.suggest_query(
         args.query_size, k=args.k, t=t, seed=args.query_seed
     )
-    d = args.dimensions
-    center = [0.9 / d] * (d - 1)
-    region = PreferenceRegion.centered(center, args.sigma)
-    result = mac_search(
-        ds.network, query, args.k, t, region,
-        j=args.j,
-        algorithm=args.algorithm,
+    engine = MACEngine(ds.network)
+    request = MACRequest.make(
+        query, args.k, t, region,
+        j=args.j if args.j > 1 else 1,
         problem="topj" if args.j > 1 else "nc",
+        algorithm=args.algorithm,
+        # Pin the strategy: a one-shot command must not pay the engine's
+        # auto G-tree build for a single query.
         use_gtree=args.gtree,
     )
+    if args.explain:
+        print(engine.explain(request).summary())
+        return 0
+    result = engine.search(request)
     print(result.summary())
     if args.members and result.partitions:
         for i, entry in enumerate(result.partitions):
             print(f"partition {i} best: {sorted(entry.best.members)}")
+    return 0
+
+
+def _batch_request(
+    obj: dict, ds, args: argparse.Namespace, line_no: int
+) -> MACRequest:
+    """Translate one JSONL object into a validated MACRequest."""
+    if not isinstance(obj, dict):
+        raise QueryError(f"line {line_no}: expected a JSON object")
+    obj = dict(obj)
+    k = obj.pop("k", None)
+    if k is None:
+        raise QueryError(f"line {line_no}: missing required field 'k'")
+    region_spec = obj.pop("region", None)
+    sigma = obj.pop("sigma", None)
+    center = obj.pop("center", None)
+    if region_spec is not None and (sigma is not None or center is not None):
+        raise QueryError(
+            f"line {line_no}: 'region' conflicts with 'center'/'sigma'; "
+            f"give either explicit bounds or a centered box, not both"
+        )
+    try:
+        t, region = resolve_search_defaults(
+            ds, args.scale, args.dimensions,
+            t=obj.pop("t", None),
+            sigma=args.sigma if sigma is None else sigma,
+            center=center,
+        )
+    except ReproError as exc:
+        raise QueryError(f"line {line_no}: {exc}") from exc
+    if region_spec is not None:
+        if (
+            not isinstance(region_spec, dict)
+            or "lows" not in region_spec
+            or "highs" not in region_spec
+        ):
+            raise QueryError(
+                f"line {line_no}: 'region' must be an object with "
+                f"'lows' and 'highs' arrays"
+            )
+        try:
+            region = PreferenceRegion(
+                region_spec["lows"], region_spec["highs"]
+            )
+        except ReproError as exc:
+            raise QueryError(f"line {line_no}: {exc}") from exc
+    if region.num_attributes != args.dimensions:
+        raise QueryError(
+            f"line {line_no}: region is for d={region.num_attributes} "
+            f"attributes but the dataset was loaded with "
+            f"d={args.dimensions}"
+        )
+    query = obj.pop("query", None)
+    if query is None:
+        size = obj.pop("query_size", 4)
+        seed = obj.pop("query_seed", 0)
+        try:
+            query = ds.suggest_query(size, k=k, t=t, seed=seed)
+        except ReproError as exc:
+            raise QueryError(f"line {line_no}: {exc}") from exc
+    else:
+        obj.pop("query_size", None)
+        obj.pop("query_seed", None)
+        # Validate membership here, where the line number is known —
+        # inside search_batch the failure would abort the whole batch
+        # with no line attribution.
+        missing = [
+            v for v in query if v not in ds.network.social.graph
+        ]
+        if missing:
+            raise QueryError(
+                f"line {line_no}: query user(s) not in the social "
+                f"network: {missing}"
+            )
+    knobs = dict(obj)
+    # Mirror the search command: an explicit j > 1 means a top-j query.
+    if knobs.get("j", 1) > 1 and "problem" not in knobs:
+        knobs["problem"] = "topj"
+    knobs.setdefault("label", f"line-{line_no}")
+    try:
+        return MACRequest.make(query, k, t, region, **knobs)
+    except QueryError as exc:
+        raise QueryError(f"line {line_no}: {exc}") from exc
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    ds = datasets.load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        dimensions=args.dimensions,
+    )
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.requests) as f:
+                lines = f.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read {args.requests}: {exc}",
+                  file=sys.stderr)
+            return 2
+    requests = []
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"error: line {line_no}: invalid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            requests.append(_batch_request(obj, ds, args, line_no))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as exc:
+            # malformed field values (wrong JSON types, bad shapes)
+            print(
+                f"error: line {line_no}: bad request field: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if not requests:
+        print("error: no requests in input", file=sys.stderr)
+        return 2
+
+    engine = MACEngine(ds.network)
+    try:
+        results = engine.search_batch(requests, workers=args.workers)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for request, result in zip(requests, results):
+        info = result.extra.get("engine", {})
+        cache = info.get("cache", {})
+        hits = sum(1 for v in cache.values() if v == "hit")
+        print(
+            f"{request.label}: {len(result.partitions)} partition(s), "
+            f"{len(result.communities())} distinct MAC(s), "
+            f"|H^t_k|={result.htk_vertices}, {result.elapsed:.3f}s, "
+            f"cache hits {hits}/{len(cache)}"
+        )
+    tel = engine.telemetry()
+    print(
+        f"batch: {len(results)} request(s), workers={args.workers}, "
+        f"cache hits={tel.hits} misses={tel.misses} "
+        f"(filter {tel.filter.hits}/{tel.filter.requests}, "
+        f"core {tel.core.hits}/{tel.core.requests}, "
+        f"dominance {tel.dominance.hits}/{tel.dominance.requests})"
+    )
     return 0
 
 
@@ -72,10 +261,11 @@ def cmd_case(args: argparse.Namespace) -> int:
     # Local search: the exact global partitioning of a d = 4 region over
     # the full collaboration network is a long-running analysis job, not
     # a CLI command.
-    result = mac_search(
-        cs.network, cs.query, args.k, 1e9, region,
+    engine = MACEngine(cs.network)
+    result = engine.search(MACRequest.make(
+        cs.query, args.k, 1e9, region,
         j=2, algorithm="local", problem="topj",
-    )
+    ))
     print(f"query: {', '.join(cs.names(cs.query))}")
     for i, entry in enumerate(result.partitions):
         for rank, community in enumerate(entry.communities, start=1):
@@ -84,6 +274,11 @@ def cmd_case(args: argparse.Namespace) -> int:
                 f"{', '.join(cs.names(community.members))}"
             )
     return 0
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sigma", type=float, default=0.01)
+    parser.add_argument("--dimensions", type=int, default=3)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,21 +294,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_search = sub.add_parser("search", help="run a MAC query")
     _add_dataset_args(p_search)
+    _add_query_args(p_search)
     p_search.add_argument("--k", type=int, default=6)
     p_search.add_argument("--t", type=float, default=None)
     p_search.add_argument("--j", type=int, default=1)
-    p_search.add_argument("--sigma", type=float, default=0.01)
-    p_search.add_argument("--dimensions", type=int, default=3)
     p_search.add_argument("--query-size", type=int, default=4)
     p_search.add_argument("--query-seed", type=int, default=1)
     p_search.add_argument(
-        "--algorithm", choices=("global", "local"), default="local"
+        "--algorithm", choices=("auto", "global", "local"), default="local"
     )
     p_search.add_argument("--gtree", action="store_true")
     p_search.add_argument(
         "--members", action="store_true", help="print community members"
     )
+    p_search.add_argument(
+        "--explain", action="store_true",
+        help="print the resolved query plan instead of running it",
+    )
     p_search.set_defaults(func=cmd_search)
+
+    p_batch = sub.add_parser(
+        "batch", help="run JSONL requests through one shared engine"
+    )
+    _add_dataset_args(p_batch)
+    _add_query_args(p_batch)
+    p_batch.add_argument(
+        "--requests", required=True,
+        help="path to a JSONL request file, or '-' for stdin",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool width for independent requests (default 4)",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_case = sub.add_parser("case", help="Aminer-style case study")
     p_case.add_argument("--k", type=int, default=5)
@@ -128,7 +341,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # library errors (bad query, empty region, ...) are user errors,
+        # not crashes — no traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

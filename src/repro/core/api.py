@@ -1,27 +1,37 @@
-"""Public entry points for MAC search on road-social networks.
+"""Free-function entry points for MAC search (thin engine wrappers).
 
-``mac_search`` runs the full pipeline of the paper: range filter
+The primary API of this package is the stateful
+:class:`repro.engine.MACEngine`: construct it once per network, submit
+typed :class:`repro.engine.MACRequest` objects through ``search`` /
+``search_batch``, and the engine reuses the expensive pipeline stages
+(G-tree, Lemma-1 range filters, coreness arrays, (k,t)-cores,
+r-dominance graphs) across queries.  See ``ENGINE.md`` for the guide
+and the migration table.
+
+The functions here are the original one-shot convenience API, kept
+working as thin wrappers that delegate to a per-call engine:
+``mac_search`` runs the full pipeline of the paper — range filter
 (Lemma 1, optionally G-tree accelerated), maximal (k,t)-core (Lemma 3),
-r-dominance graph construction (Section IV), then global (Algorithm 1) or
-local (Algorithms 3-5) search for Problem 1 (top-j) or Problem 2
+r-dominance graph construction (Section IV), then global (Algorithm 1)
+or local (Algorithms 3-5) search for Problem 1 (top-j) or Problem 2
 (non-contained).  The four named algorithms of Section VII are the
 convenience wrappers ``gs_topj`` (GS-T), ``gs_nc`` (GS-NC), ``ls_topj``
-(LS-T) and ``ls_nc`` (LS-NC).
+(LS-T) and ``ls_nc`` (LS-NC).  Each call rebuilds all prepared state
+except the G-tree, which lives on the network
+(:attr:`RoadSocialNetwork.gtree`) and is shared with any engine; for
+repeated-query workloads, hold an engine instead.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dominance.graph import DominanceGraph
 from repro.errors import QueryError
 from repro.geometry.region import PreferenceRegion
-from repro.core.global_search import GlobalSearch, SearchStats
-from repro.core.local_search import LocalSearch
+from repro.core.global_search import SearchStats
 from repro.core.query import Community, MACQuery, PartitionEntry
 from repro.social.roadsocial import RoadSocialNetwork
 
@@ -85,28 +95,6 @@ class MACSearchResult:
         return "\n".join(lines)
 
 
-def _prepare(
-    network: RoadSocialNetwork,
-    query: Iterable[int],
-    k: int,
-    t: float,
-    region: PreferenceRegion,
-    use_gtree: bool,
-):
-    """Shared pipeline: H^t_k then Gd (returns None when H^t_k is empty)."""
-    if region.num_attributes != network.social.dimensionality:
-        raise QueryError(
-            f"region is for d={region.num_attributes} attributes but the "
-            f"network has d={network.social.dimensionality}"
-        )
-    ktcore = network.maximal_kt_core(query, k, t, use_gtree=use_gtree)
-    if ktcore is None:
-        return None
-    attrs = network.social.attributes_for(ktcore.graph.vertices())
-    gd = DominanceGraph(attrs, region)
-    return ktcore, gd
-
-
 def mac_search(
     network: RoadSocialNetwork,
     query: Iterable[int],
@@ -124,20 +112,23 @@ def mac_search(
     certification: str = "fast",
     time_budget: float | None = None,
 ) -> MACSearchResult:
-    """Run a MAC search end to end.
+    """Run one MAC search end to end (one-shot engine delegation).
 
     Parameters
     ----------
     network:
         The road-social network.
     query, k, t, region, j:
-        The query of Problems 1/2 (Section II-D).
+        The query of Problems 1/2 (Section II-D).  ``j`` only applies to
+        ``problem="topj"`` and is ignored for ``"nc"``.
     algorithm:
-        ``"global"`` (Algorithm 1) or ``"local"`` (Algorithms 3-5).
+        ``"global"`` (Algorithm 1), ``"local"`` (Algorithms 3-5), or
+        ``"auto"`` (pick by the size of the maximal (k,t)-core).
     problem:
         ``"nc"`` (Problem 2, non-contained MACs) or ``"topj"`` (Problem 1).
     use_gtree:
-        Accelerate the Lemma-1 range filter with a (cached) G-tree.
+        Accelerate the Lemma-1 range filter with the network's shared
+        G-tree (built on first use, reused forever).
     max_partitions:
         Safety budget for the global search's output size.
     strategy, max_candidates:
@@ -148,55 +139,72 @@ def mac_search(
         (lower-envelope ablation: refine only against the current
         minimum; same non-contained MACs, far fewer partitions).
     """
-    if algorithm not in ("global", "local"):
-        raise QueryError(f"unknown algorithm {algorithm!r}")
-    if problem not in ("nc", "topj"):
-        raise QueryError(f"unknown problem {problem!r}")
-    q = MACQuery.make(query, k, t, region, j)
-    start = time.perf_counter()
-    prepared = _prepare(network, q.query, k, t, region, use_gtree)
-    if prepared is None:
-        return MACSearchResult(
-            q, [], SearchStats(), time.perf_counter() - start
-        )
-    ktcore, gd = prepared
-    if algorithm == "global":
-        searcher = GlobalSearch(
-            ktcore.graph, gd, q.query, k, region,
-            max_partitions=max_partitions, refinement=refinement,
-            time_budget=time_budget,
-        )
-        partitions = (
-            searcher.search_nc() if problem == "nc" else searcher.search_topj(j)
-        )
-        stats = searcher.stats
-    else:
-        searcher = LocalSearch(
-            ktcore.graph,
-            gd,
-            q.query,
-            k,
-            region,
-            strategy=strategy,
-            max_candidates=max_candidates,
-            certification=certification,
-        )
-        partitions = (
-            searcher.search_nc() if problem == "nc" else searcher.search_topj(j)
-        )
-        stats = searcher.stats
-    return MACSearchResult(
-        q,
-        partitions,
-        stats,
-        time.perf_counter() - start,
-        htk_vertices=ktcore.num_vertices,
-        htk_edges=ktcore.num_edges,
+    from repro.engine import MACEngine, MACRequest
+
+    if j < 1:
+        # Validate before the nc-path normalization below masks a bad j.
+        raise QueryError(f"j must be >= 1, got {j}")
+    request = MACRequest.make(
+        query, k, t, region,
+        j=j if problem == "topj" else 1,
+        algorithm=algorithm,
+        problem=problem,
+        use_gtree=use_gtree,
+        max_partitions=max_partitions,
+        strategy=strategy,
+        max_candidates=max_candidates,
+        refinement=refinement,
+        certification=certification,
+        time_budget=time_budget,
     )
+    return MACEngine(network).search(request)
+
+
+#: Optional keyword arguments the ``gs_*`` / ``ls_*`` wrappers may
+#: forward to :func:`mac_search`.  ``algorithm`` and ``problem`` are
+#: fixed by the wrapper's identity, and ``j`` is positional-only on the
+#: top-j wrappers / meaningless on the non-contained ones.
+_WRAPPER_KWARGS = frozenset(
+    {
+        "use_gtree",
+        "max_partitions",
+        "strategy",
+        "max_candidates",
+        "refinement",
+        "certification",
+        "time_budget",
+    }
+)
+
+
+def _check_wrapper_kwargs(name: str, kwargs: dict) -> None:
+    """Reject conflicting/unknown kwargs instead of silently passing them.
+
+    The wrappers historically accepted ``**kwargs`` verbatim, so e.g.
+    ``gs_nc(..., j=5)`` silently ran a different query than the caller
+    intended (``j`` is meaningless for Problem 2) and
+    ``ls_nc(..., algorithm="global")`` would have crashed with a
+    confusing ``TypeError`` about duplicate keywords.
+    """
+    conflicting = sorted(
+        k for k in kwargs if k in ("algorithm", "problem", "j")
+    )
+    if conflicting:
+        raise QueryError(
+            f"{name}() fixes {', '.join(conflicting)}; pass them to "
+            f"mac_search() instead"
+        )
+    unknown = sorted(set(kwargs) - _WRAPPER_KWARGS)
+    if unknown:
+        raise QueryError(
+            f"{name}() got unknown keyword(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(_WRAPPER_KWARGS))}"
+        )
 
 
 def gs_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
     """GS-T: global search for the top-j MACs (Problem 1)."""
+    _check_wrapper_kwargs("gs_topj", kwargs)
     return mac_search(
         network, query, k, t, region, j=j,
         algorithm="global", problem="topj", **kwargs,
@@ -205,6 +213,7 @@ def gs_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
 
 def gs_nc(network, query, k, t, region, **kwargs) -> MACSearchResult:
     """GS-NC: global search for the non-contained MACs (Problem 2)."""
+    _check_wrapper_kwargs("gs_nc", kwargs)
     return mac_search(
         network, query, k, t, region,
         algorithm="global", problem="nc", **kwargs,
@@ -213,6 +222,7 @@ def gs_nc(network, query, k, t, region, **kwargs) -> MACSearchResult:
 
 def ls_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
     """LS-T: local search for the top-j MACs (Problem 1)."""
+    _check_wrapper_kwargs("ls_topj", kwargs)
     return mac_search(
         network, query, k, t, region, j=j,
         algorithm="local", problem="topj", **kwargs,
@@ -221,6 +231,7 @@ def ls_topj(network, query, k, t, region, j, **kwargs) -> MACSearchResult:
 
 def ls_nc(network, query, k, t, region, **kwargs) -> MACSearchResult:
     """LS-NC: local search for the non-contained MACs (Problem 2)."""
+    _check_wrapper_kwargs("ls_nc", kwargs)
     return mac_search(
         network, query, k, t, region,
         algorithm="local", problem="nc", **kwargs,

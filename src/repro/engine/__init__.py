@@ -1,0 +1,35 @@
+"""The stateful query-engine API: prepared indexes + typed requests.
+
+Quickstart::
+
+    from repro import MACEngine, MACRequest, PreferenceRegion, datasets
+
+    ds = datasets.load_dataset("sf+slashdot", scale=0.25, seed=7)
+    engine = MACEngine(ds.network)
+    request = MACRequest.make(
+        ds.suggest_query(4, k=6, t=150.0), k=6, t=150.0,
+        region=PreferenceRegion.from_sigma([0.3, 0.3], 0.01),
+    )
+    print(engine.explain(request).summary())
+    result = engine.search(request)          # cold: builds + caches
+    result = engine.search(request)          # warm: result-cache hit
+    results = engine.search_batch([request] * 8, workers=4)
+    print(engine.telemetry())
+
+See ``ENGINE.md`` at the repository root for the full guide, including
+the migration table from the free-function API.
+"""
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.engine import EngineTelemetry, MACEngine, QueryPlan
+from repro.engine.request import MACRequest, region_key
+
+__all__ = [
+    "MACEngine",
+    "MACRequest",
+    "QueryPlan",
+    "EngineTelemetry",
+    "CacheStats",
+    "LRUCache",
+    "region_key",
+]

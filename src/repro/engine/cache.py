@@ -1,0 +1,136 @@
+"""Thread-safe LRU caches backing the :class:`~repro.engine.MACEngine`.
+
+The engine keys every prepared artifact (range-filter maps, coreness
+decompositions, (k,t)-cores, r-dominance graphs) on a canonicalized
+query tuple, so identical requests — and requests that share a prefix of
+the pipeline — reuse work.  ``LRUCache.get_or_create`` deduplicates
+concurrent builds of the same key: when several batch workers ask for
+one missing entry, a single thread computes it and the rest wait on an
+event instead of redoing the (potentially seconds-long) build.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time telemetry snapshot of one cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LRUCache:
+    """A small LRU map with hit/miss accounting and build deduplication.
+
+    Values may be ``None`` (the engine caches "this (k,t)-core is empty"
+    just like any other answer); presence is tracked by key, not by
+    truthiness.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(value, was_hit)``, building via ``factory`` on a miss.
+
+        Concurrent callers with the same missing key block until the one
+        elected builder finishes (or, if it raises, the next waiter takes
+        over the build).  Waiters that receive a value built by another
+        thread count as hits: they paid none of the build cost.
+        """
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._hits += 1
+                    self._data.move_to_end(key)
+                    return self._data[key], True
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    elected = True
+                else:
+                    elected = False
+            if not elected:
+                event.wait()
+                continue  # re-check: value present, evicted, or build failed
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                self._misses += 1
+                self._data[key] = value
+                self._data.move_to_end(key)
+                while len(self._data) > self.capacity:
+                    self._data.popitem(last=False)
+                self._inflight.pop(key, None)
+            event.set()
+            return value, False
+
+    # ------------------------------------------------------------------
+    def peek(self, key: Hashable) -> tuple[Any, bool]:
+        """``(value, present)`` without touching LRU order or counters."""
+        with self._lock:
+            if key in self._data:
+                return self._data[key], True
+            return None, False
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                capacity=self.capacity,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats
+        return (
+            f"LRUCache(size={s.size}/{s.capacity}, hits={s.hits}, "
+            f"misses={s.misses})"
+        )

@@ -12,12 +12,13 @@ Implements the Section-III warm-up pipeline (Lemmas 1-3):
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import QueryError
 from repro.graph.adjacency import AdjacencyGraph
-from repro.graph.core import coreness_upper_bound, k_core_containing
+from repro.graph.core import core_decomposition, coreness_upper_bound
 from repro.road.dijkstra import bounded_dijkstra
 from repro.road.gtree import GTree
 from repro.road.network import RoadNetwork, SpatialPoint
@@ -44,6 +45,40 @@ class KTCore:
     @property
     def num_edges(self) -> int:
         return self.graph.num_edges
+
+
+def kt_core_from_coreness(
+    filtered: AdjacencyGraph,
+    coreness: dict[int, int],
+    query_distance: dict[int, float],
+    query: Iterable[int],
+    k: int,
+) -> KTCore | None:
+    """Extract H^t_k from a t-filtered subgraph and its coreness array.
+
+    The single Lemma-2/3 implementation shared by the legacy
+    :meth:`RoadSocialNetwork.maximal_kt_core` path and the
+    :class:`~repro.engine.MACEngine` (which caches ``filtered`` and
+    ``coreness`` per (Q, t) and calls this once per k).  The k-core is
+    exactly the subgraph on vertices with coreness >= k; H^t_k is its
+    connected component containing all of Q, or None when Q is filtered
+    out or split across components.
+    """
+    q_list = list(query)
+    if any(q not in query_distance for q in q_list):
+        return None
+    keep = [v for v, c in coreness.items() if c >= k]
+    sub = filtered.subgraph(keep)
+    if any(q not in sub for q in q_list):
+        return None
+    component = sub.component_of(q_list[0])
+    if not all(q in component for q in q_list):
+        return None
+    graph = sub.subgraph(component)
+    return KTCore(
+        graph=graph,
+        query_distance={v: query_distance[v] for v in graph.vertices()},
+    )
 
 
 def _point_distance(
@@ -82,17 +117,38 @@ class RoadSocialNetwork:
         self.road = road
         self.social = social
         self._gtree: GTree | None = None
+        self._gtree_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def build_gtree(self, leaf_size: int = 64) -> GTree:
-        """Build (and cache) the G-tree range-query accelerator."""
+        """Build (and cache) the G-tree range-query accelerator.
+
+        Thread-safe and idempotent: concurrent callers (e.g. engine
+        batch workers) share one build; ``leaf_size`` only applies to
+        the first construction.
+        """
         if self._gtree is None:
-            self._gtree = GTree(self.road, leaf_size=leaf_size)
+            with self._gtree_lock:
+                if self._gtree is None:
+                    self._gtree = GTree(self.road, leaf_size=leaf_size)
         return self._gtree
 
     @property
-    def gtree(self) -> GTree | None:
-        return self._gtree
+    def gtree(self) -> GTree:
+        """The shared G-tree, built on first access (cached property).
+
+        Every consumer — the legacy ``use_gtree=True`` free functions
+        and the :class:`~repro.engine.MACEngine` — goes through this one
+        instance, so the index is never rebuilt per call.  Use
+        :attr:`has_gtree` to test for the index without triggering a
+        build.
+        """
+        return self.build_gtree()
+
+    @property
+    def has_gtree(self) -> bool:
+        """Whether the G-tree has been built (never triggers a build)."""
+        return self._gtree is not None
 
     # ------------------------------------------------------------------
     def query_distance_filter(
@@ -155,13 +211,8 @@ class RoadSocialNetwork:
         )
         if k > bound:
             return None
-        core = k_core_containing(filtered, q_list, k)
-        if core is None:
-            return None
-        return KTCore(
-            graph=core,
-            query_distance={v: dq[v] for v in core.vertices()},
-        )
+        coreness = core_decomposition(filtered)
+        return kt_core_from_coreness(filtered, coreness, dq, q_list, k)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RoadSocialNetwork({self.road!r}, {self.social!r})"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.api import mac_search
+from repro.core.api import gs_nc, gs_topj, ls_nc, ls_topj, mac_search
 from repro.core.query import Community, MACQuery
 from repro.errors import QueryError
 from repro.geometry.region import PreferenceRegion
@@ -57,6 +57,14 @@ class TestMacSearchDispatch:
                 paper_network, [2], 2, 9.0, paper_region, problem="best"
             )
 
+    def test_invalid_j_rejected_even_for_nc(
+        self, paper_network, paper_region
+    ):
+        with pytest.raises(QueryError, match="j must be >= 1"):
+            mac_search(
+                paper_network, [2, 3, 6], 3, 9.0, paper_region, j=0
+            )
+
     def test_dimension_mismatch(self, paper_network):
         region = PreferenceRegion([0.2], [0.4])  # d = 2, network d = 3
         with pytest.raises(QueryError):
@@ -85,7 +93,52 @@ class TestMacSearchDispatch:
             paper_network, [2, 3, 6], 3, 9.0, paper_region, use_gtree=True
         )
         assert plain.nc_communities() == fast.nc_communities()
-        assert paper_network.gtree is not None  # cached
+        # has_gtree probes without building: the search itself cached it
+        assert paper_network.has_gtree
+
+
+class TestWrapperKwargs:
+    """The gs_*/ls_* wrappers reject conflicting or unknown kwargs."""
+
+    def test_nc_wrappers_reject_j(self, paper_network, paper_region):
+        for wrapper in (gs_nc, ls_nc):
+            with pytest.raises(QueryError, match="fixes j"):
+                wrapper(paper_network, [2, 3, 6], 3, 9.0, paper_region, j=5)
+
+    def test_wrappers_reject_algorithm_and_problem(
+        self, paper_network, paper_region
+    ):
+        with pytest.raises(QueryError, match="algorithm"):
+            gs_nc(
+                paper_network, [2, 3, 6], 3, 9.0, paper_region,
+                algorithm="local",
+            )
+        with pytest.raises(QueryError, match="problem"):
+            ls_topj(
+                paper_network, [2, 3, 6], 3, 9.0, paper_region, 2,
+                problem="nc",
+            )
+
+    def test_wrappers_reject_unknown_kwargs(
+        self, paper_network, paper_region
+    ):
+        with pytest.raises(QueryError, match="unknown keyword"):
+            ls_nc(
+                paper_network, [2, 3, 6], 3, 9.0, paper_region,
+                use_gtrees=True,  # typo'd knob must not pass silently
+            )
+
+    def test_wrappers_accept_real_knobs(self, paper_network, paper_region):
+        res = gs_topj(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region, 2,
+            use_gtree=True, refinement="envelope", time_budget=30.0,
+        )
+        assert not res.is_empty
+        res = ls_nc(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region,
+            strategy="eq4", max_candidates=8, certification="chain",
+        )
+        assert not res.is_empty
 
 
 class TestResultHelpers:

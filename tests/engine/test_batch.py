@@ -1,0 +1,166 @@
+"""search_batch tests: batch-vs-sequential equivalence and cache sharing."""
+
+import pytest
+
+from repro import MACEngine, MACRequest, mac_search
+from repro.engine.cache import LRUCache
+from repro.errors import QueryError
+
+
+def _partition_sets(result):
+    return {frozenset(e.best.members) for e in result.partitions}
+
+
+class TestBatch:
+    def test_identical_requests_match_sequential(
+        self, paper_network, paper_region
+    ):
+        """The acceptance-criterion scenario: 8 identical requests."""
+        engine = MACEngine(paper_network)
+        request = MACRequest.make(
+            [2, 3, 6], 3, 9.0, paper_region, algorithm="global"
+        )
+        results = engine.search_batch([request] * 8, workers=4)
+        assert len(results) == 8
+        reference = mac_search(
+            paper_network, [2, 3, 6], 3, 9.0, paper_region,
+            algorithm="global",
+        )
+        for result in results:
+            assert _partition_sets(result) == _partition_sets(reference)
+            assert result.communities() == reference.communities()
+        tel = engine.telemetry()
+        assert tel.searches == 8
+        assert tel.batches == 1
+        assert tel.hits > 0  # cache telemetry must report reuse
+        assert tel.core.misses == 1  # the (k,t)-core was built exactly once
+        assert tel.dominance.misses == 1
+
+    def test_mixed_requests_preserve_order(
+        self, paper_network, paper_region
+    ):
+        engine = MACEngine(paper_network)
+        requests = [
+            MACRequest.make(
+                [2, 3, 6], 3, 9.0, paper_region,
+                algorithm="global", label="nc",
+            ),
+            MACRequest.make(
+                [2, 3, 6], 3, 9.0, paper_region, j=2, problem="topj",
+                algorithm="global", label="topj",
+            ),
+            MACRequest.make([2], 6, 9.0, paper_region, label="empty"),
+            MACRequest.make(
+                [2, 3, 6], 2, 9.0, paper_region,
+                algorithm="local", label="k2",
+            ),
+        ]
+        results = engine.search_batch(requests, workers=3)
+        assert [r.extra["engine"]["label"] for r in results] == [
+            "nc", "topj", "empty", "k2",
+        ]
+        assert not results[0].is_empty
+        assert results[2].is_empty
+        for request, result in zip(requests, results):
+            solo = mac_search(
+                paper_network, request.query, request.k, request.t,
+                request.region, j=request.j,
+                algorithm=(
+                    request.algorithm
+                    if request.algorithm != "auto" else "global"
+                ),
+                problem=request.problem,
+            )
+            assert _partition_sets(result) == _partition_sets(solo)
+
+    def test_single_worker_path(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        request = MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        results = engine.search_batch([request, request], workers=1)
+        assert len(results) == 2
+        assert _partition_sets(results[0]) == _partition_sets(results[1])
+
+    def test_empty_batch(self, paper_network):
+        engine = MACEngine(paper_network)
+        assert engine.search_batch([]) == []
+
+    def test_batch_validates_upfront(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        good = MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        with pytest.raises(QueryError, match="MACRequest"):
+            engine.search_batch([good, "not-a-request"])
+        assert engine.telemetry().searches == 0  # nothing ran
+
+
+class TestLRUCache:
+    def test_eviction_and_stats(self):
+        cache = LRUCache(2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: 1)  # refresh a
+        cache.get_or_create("c", lambda: 3)  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        value, hit = cache.get_or_create("b", lambda: 20)
+        assert value == 20 and not hit
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 4
+        assert stats.size == 2 and stats.capacity == 2
+        assert 0 < stats.hit_rate < 1
+
+    def test_none_values_are_cached(self):
+        cache = LRUCache(4)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return None
+
+        value, hit = cache.get_or_create("x", build)
+        assert value is None and not hit
+        value, hit = cache.get_or_create("x", build)
+        assert value is None and hit
+        assert len(calls) == 1
+
+    def test_failed_build_not_cached(self):
+        cache = LRUCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("x", self._boom)
+        value, hit = cache.get_or_create("x", lambda: 7)
+        assert value == 7 and not hit
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("build failed")
+
+    def test_concurrent_builds_deduplicated(self):
+        import threading
+
+        cache = LRUCache(4)
+        calls = []
+        gate = threading.Event()
+
+        def build():
+            calls.append(1)
+            gate.wait(timeout=5)
+            return 42
+
+        outcomes = []
+
+        def worker():
+            outcomes.append(cache.get_or_create("k", build))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1  # one elected builder
+        assert all(value == 42 for value, _hit in outcomes)
+        assert sum(1 for _v, hit in outcomes if not hit) == 1
+        assert cache.stats.hits == 5 and cache.stats.misses == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)

@@ -1,0 +1,117 @@
+"""MACRequest validation, normalization and cache-key tests."""
+
+import pytest
+
+from repro.engine.request import MACRequest, region_key
+from repro.errors import QueryError
+from repro.geometry.region import PreferenceRegion
+
+
+class TestValidation:
+    def test_defaults(self, paper_region):
+        r = MACRequest.make([3, 1, 2], 3, 9.0, paper_region)
+        assert r.query == (1, 2, 3)
+        assert r.j == 1
+        assert r.problem == "nc"
+        assert r.algorithm == "auto"
+        assert r.use_gtree is None
+
+    def test_numpy_query_vertices_coerced(self, paper_region):
+        import numpy as np
+
+        r = MACRequest.make(
+            np.array([6, 2, 3]), np.int64(3), np.float64(9.0), paper_region
+        )
+        assert r.query == (2, 3, 6)
+        assert all(type(v) is int for v in r.query)
+        assert type(r.k) is int and type(r.t) is float
+
+    def test_query_normalized_and_frozen(self, paper_region):
+        r = MACRequest.make([6, 2, 2, 3], 3, 9.0, paper_region)
+        assert r.query == (2, 3, 6)
+        with pytest.raises(AttributeError):
+            r.k = 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(query=[], k=3, t=9.0),
+            dict(query=[1], k=0, t=9.0),
+            dict(query=[1], k=3, t=-1.0),
+            dict(query=[1], k=3, t=9.0, j=0),
+            dict(query=[1], k=3, t=9.0, problem="best"),
+            dict(query=[1], k=3, t=9.0, algorithm="magic"),
+            dict(query=[1], k=3, t=9.0, strategy="eq9"),
+            dict(query=[1], k=3, t=9.0, refinement="fancy"),
+            dict(query=[1], k=3, t=9.0, certification="slow"),
+            dict(query=[1], k=3, t=9.0, max_candidates=0),
+            dict(query=[1], k=3, t=9.0, max_partitions=0),
+            dict(query=[1], k=3, t=9.0, time_budget=0.0),
+            dict(query=["a"], k=3, t=9.0),
+            dict(query=[1], k=3.5, t=9.0),
+            dict(query=[1], k="3", t=9.0),
+            dict(query=[1], k=3, t="9"),
+            dict(query=[1], k=3, t=9.0, j=2.5),
+        ],
+    )
+    def test_rejects(self, paper_region, kwargs):
+        kwargs = dict(kwargs)
+        query = kwargs.pop("query")
+        k = kwargs.pop("k")
+        t = kwargs.pop("t")
+        with pytest.raises(QueryError):
+            MACRequest.make(query, k, t, paper_region, **kwargs)
+
+    def test_j_conflicts_with_nc(self, paper_region):
+        with pytest.raises(QueryError, match="conflicts"):
+            MACRequest.make([1], 3, 9.0, paper_region, j=5, problem="nc")
+        # but is fine for topj
+        r = MACRequest.make([1], 3, 9.0, paper_region, j=5, problem="topj")
+        assert r.j == 5
+
+    def test_region_type_checked(self):
+        with pytest.raises(QueryError, match="PreferenceRegion"):
+            MACRequest.make([1], 3, 9.0, region=[0.1, 0.5])
+
+    def test_unknown_field_raises_query_error(self, paper_region):
+        with pytest.raises(QueryError, match="unknown request field"):
+            MACRequest.make([1], 3, 9.0, paper_region, jj=2)
+
+
+class TestKeys:
+    def test_staged_keys_nest(self, paper_region):
+        r = MACRequest.make([2, 1], 3, 9.0, paper_region)
+        assert r.filter_key == ((1, 2), 9.0)
+        assert r.core_key == ((1, 2), 3, 9.0)
+        assert r.dominance_key == (
+            (1, 2), 3, 9.0, region_key(paper_region)
+        )
+
+    def test_keys_ignore_output_knobs(self, paper_region):
+        a = MACRequest.make([1, 2], 3, 9.0, paper_region)
+        b = MACRequest.make(
+            [1, 2], 3, 9.0, paper_region,
+            j=4, problem="topj", algorithm="local", label="b",
+        )
+        assert a.filter_key == b.filter_key
+        assert a.core_key == b.core_key
+        assert a.dominance_key == b.dominance_key
+
+    def test_region_key_distinguishes(self, paper_region):
+        other = PreferenceRegion([0.1, 0.2], [0.5, 0.41])
+        a = MACRequest.make([1], 3, 9.0, paper_region)
+        b = MACRequest.make([1], 3, 9.0, other)
+        assert a.dominance_key != b.dominance_key
+
+    def test_label_not_part_of_equality(self, paper_region):
+        a = MACRequest.make([1], 3, 9.0, paper_region, label="x")
+        b = MACRequest.make([1], 3, 9.0, paper_region, label="y")
+        assert a == b
+
+    def test_describe_mentions_label(self, paper_region):
+        r = MACRequest.make(
+            [1], 3, 9.0, paper_region, label="wave-1",
+            problem="topj", j=3,
+        )
+        text = r.describe()
+        assert "wave-1" in text and "j=3" in text

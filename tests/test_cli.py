@@ -35,6 +35,131 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_library_errors_are_clean(self, capsys):
+        # ReproError from any command surfaces as error + exit 2
+        code = main([
+            "search", "--dataset", "sf+slashdot", "--scale", "0.05",
+            "--k", "4", "--query-size", "2", "--j", "0",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_explain(self, capsys):
+        code = main([
+            "search", "--dataset", "sf+slashdot", "--scale", "0.05",
+            "--k", "4", "--query-size", "2", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan for" in out and "range filter" in out
+
+
+class TestBatchCommand:
+    BASE = ["batch", "--dataset", "sf+slashdot", "--scale", "0.05"]
+
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_batch_runs_and_reports_cache(self, capsys, tmp_path):
+        line = '{"query_size": 2, "query_seed": 1, "k": 4, "algorithm": "local"}'
+        path = self._write(tmp_path, ["# comment", line, "", line])
+        assert main([*self.BASE, "--requests", path, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "line-2:" in out and "line-4:" in out
+        assert "batch: 2 request(s)" in out
+        assert "cache hits=" in out
+
+    def test_batch_rejects_bad_json(self, capsys, tmp_path):
+        path = self._write(tmp_path, ["{not json"])
+        assert main([*self.BASE, "--requests", path]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_batch_rejects_bad_request(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path, ['{"query": [1, 2], "k": 4, "problem": "best"}']
+        )
+        assert main([*self.BASE, "--requests", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "problem" in err
+
+    def test_batch_requires_k(self, capsys, tmp_path):
+        path = self._write(tmp_path, ['{"query": [1, 2]}'])
+        assert main([*self.BASE, "--requests", path]) == 2
+        assert "missing required field 'k'" in capsys.readouterr().err
+
+    def test_batch_empty_input(self, capsys, tmp_path):
+        path = self._write(tmp_path, ["# only a comment"])
+        assert main([*self.BASE, "--requests", path]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_batch_missing_file(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main([*self.BASE, "--requests", missing]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_region_conflicts_with_sigma(self, capsys, tmp_path):
+        path = self._write(tmp_path, [
+            '{"query": [1, 2], "k": 4, "sigma": 0.02,'
+            ' "region": {"lows": [0.29, 0.29], "highs": [0.31, 0.31]}}'
+        ])
+        assert main([*self.BASE, "--requests", path]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_batch_invalid_region_bounds_name_the_line(
+        self, capsys, tmp_path
+    ):
+        path = self._write(tmp_path, [
+            '{"query": [1, 2], "k": 4,'
+            ' "region": {"lows": [0.5, 0.5], "highs": [0.3, 0.3]}}'
+        ])
+        assert main([*self.BASE, "--requests", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "lo <= hi" in err
+
+    def test_batch_malformed_region_spec(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path, ['{"query": [1, 2], "k": 4, "region": {"low": [0.1]}}']
+        )
+        assert main([*self.BASE, "--requests", path]) == 2
+        assert "'lows' and 'highs'" in capsys.readouterr().err
+
+    def test_batch_infers_topj_from_j(self, capsys, tmp_path):
+        # mirror of `search --j 3`: an explicit j > 1 means top-j
+        path = self._write(
+            tmp_path,
+            ['{"query_size": 2, "query_seed": 1, "k": 4, "j": 2,'
+             ' "algorithm": "local"}'],
+        )
+        assert main([*self.BASE, "--requests", path, "--workers", "1"]) == 0
+        assert "line-1:" in capsys.readouterr().out
+
+    def test_batch_unknown_user_names_line(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path, ['{"query": [99999999], "k": 4}']
+        )
+        assert main([*self.BASE, "--requests", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "99999999" in err
+
+    def test_batch_region_dimension_mismatch(self, capsys, tmp_path):
+        path = self._write(tmp_path, [
+            '{"query": [1, 2], "k": 4,'
+            ' "region": {"lows": [0.4], "highs": [0.6]}}'  # d=2 vs d=3
+        ])
+        assert main([*self.BASE, "--requests", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "d=2" in err
+
+    def test_batch_badly_typed_field_is_clean_error(
+        self, capsys, tmp_path
+    ):
+        path = self._write(tmp_path, ['{"query": [1, 2], "k": "four"}'])
+        assert main([*self.BASE, "--requests", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: line 1") and "Traceback" not in err
+
 
 class TestSummary:
     def test_summary_nonempty(self, paper_network, paper_region):
