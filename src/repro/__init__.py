@@ -51,6 +51,7 @@ from repro.errors import (
 from repro.geometry.preference_learning import LearnedRegion
 from repro.geometry.region import PreferenceRegion
 from repro.graph.adjacency import AdjacencyGraph
+from repro.kernels import FlatGraph
 from repro.road.network import RoadNetwork, SpatialPoint
 from repro.social.network import SocialNetwork
 from repro.social.roadsocial import RoadSocialNetwork
@@ -75,6 +76,7 @@ __all__ = [
     "LearnedRegion",
     "DominanceGraph",
     "AdjacencyGraph",
+    "FlatGraph",
     "RoadNetwork",
     "SpatialPoint",
     "SocialNetwork",

@@ -249,6 +249,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"core {tel.core.hits}/{tel.core.requests}, "
         f"dominance {tel.dominance.hits}/{tel.dominance.requests})"
     )
+    print(
+        "stage seconds: "
+        + ", ".join(
+            f"{stage}={seconds:.3f}"
+            for stage, seconds in tel.stage_seconds.items()
+        )
+    )
     return 0
 
 

@@ -91,7 +91,11 @@ class LoadedDataset:
         """
         t = self.default_t if t is None else t
         rng = np.random.default_rng(seed)
-        core = peel_to_k_core(self.network.social.graph, k)
+        # Pinned to the python cascade: the seeded draw sequence below
+        # walks neighbor *sets*, whose iteration order depends on how the
+        # core graph was materialized.  The cascade layout keeps suggested
+        # queries byte-stable across kernel-backend changes.
+        core = peel_to_k_core(self.network.social.graph, k, backend="python")
         if core.num_vertices == 0:
             raise DatasetError(f"{self.name}: social graph has no {k}-core")
         pool = sorted(core.vertices())

@@ -8,6 +8,14 @@ an earlier one, so the insertion order is a topological order — which the
 subset passes (leaves/tops within a vertex subset) exploit for O(V + E)
 sweeps.
 
+Two construction backends share identical semantics.  ``"flat"`` (the
+default) keeps every corner score in one ``(n, p)`` matrix: dominator
+detection is a single vectorized comparison against the inserted prefix,
+and Hasse-parent minimization is an array gather over a CSR store of
+parent rows.  ``"python"`` is the per-vertex reference path (a
+``corner_scores`` array per vertex, a pairwise ``dominance_case`` test
+per inserted predecessor) kept for equivalence testing.
+
 Tie handling: two vertices whose score functions coincide on all of R
 would r-dominate each other under the paper's weak inequality; we orient
 the arc toward the later vertex in the (deterministic) BBS order, keeping
@@ -28,9 +36,11 @@ from repro.dominance.relation import (
     corner_scores,
     dominance_case,
 )
-from repro.errors import GeometryError
+from repro.errors import GeometryError, GraphError
 from repro.geometry.halfspace import Halfspace, score_halfspace
 from repro.geometry.region import PreferenceRegion
+from repro.kernels.backend import BACKENDS
+from repro.kernels.flatgraph import ragged_offsets
 from repro.spatial.bbs import bbs_order
 from repro.spatial.rtree import RTree
 
@@ -45,24 +55,46 @@ class DominanceGraph:
         attributes: Mapping[Vertex, np.ndarray],
         region: PreferenceRegion,
         use_rtree: bool = True,
+        backend: str = "auto",
     ) -> None:
         if not attributes:
             raise GeometryError("dominance graph needs at least one vertex")
+        if backend not in BACKENDS:
+            raise GraphError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        # Unlike the graph kernels there is no small-size penalty to the
+        # matrix layout, so "auto" always resolves to "flat".
+        self.backend = "python" if backend == "python" else "flat"
         self.region = region
         self._corners = region.corners()
         self._ids: list[Vertex] = sorted(attributes)
-        self._attrs = {
-            v: np.asarray(attributes[v], dtype=float) for v in self._ids
-        }
         d = region.num_attributes
-        for v, x in self._attrs.items():
+        self._attrs: dict[Vertex, np.ndarray] = {}
+        for v in self._ids:
+            x = np.asarray(attributes[v], dtype=float)
             if x.shape != (d,):
                 raise GeometryError(
                     f"vertex {v} has {x.shape[0]}-d attributes, expected {d}"
                 )
-        self._cscores = {
-            v: corner_scores(x, self._corners) for v, x in self._attrs.items()
-        }
+            self._attrs[v] = x
+        n = len(self._ids)
+        p = max(1, self._corners.shape[0])
+        if self.backend == "flat":
+            # One (n, d) stack + one affine product: every corner score
+            # in a single matrix, replacing n per-vertex evaluations.
+            x_all = np.asarray([self._attrs[v] for v in self._ids])
+            if self._corners.shape[1] == 0:
+                cs_all = np.repeat(x_all[:, :1], p, axis=1)
+            else:
+                tail = x_all[:, -1:]
+                cs_all = tail + (x_all[:, :-1] - tail) @ self._corners.T
+        else:
+            cs_all = np.empty((n, p))
+            for i, v in enumerate(self._ids):
+                cs_all[i] = corner_scores(self._attrs[v], self._corners)
+        self._cs_all = cs_all
+        self._cs_row = {v: i for i, v in enumerate(self._ids)}
         self.parents: dict[Vertex, tuple[Vertex, ...]] = {}
         self.children: dict[Vertex, list[Vertex]] = {v: [] for v in self._ids}
         self.order: list[Vertex] = []
@@ -75,6 +107,10 @@ class DominanceGraph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _cscore(self, v: Vertex) -> np.ndarray:
+        """Corner-score row of ``v`` (a view into the score matrix)."""
+        return self._cs_all[self._cs_row[v]]
+
     def _stream(self, use_rtree: bool) -> Iterable[Vertex]:
         if use_rtree and len(self._ids) > 1:
             points = np.asarray([self._attrs[v] for v in self._ids])
@@ -93,7 +129,7 @@ class DominanceGraph:
         # strict r-dominator still precedes its dominatee (its corner sum
         # is strictly larger), keeping the insertion order topological.
         corner_sums = {
-            v: float(cs.sum()) for v, cs in self._cscores.items()
+            v: float(self._cscore(v).sum()) for v in self._ids
         }
         return sorted(
             self._ids,
@@ -102,7 +138,7 @@ class DominanceGraph:
 
     def dag_dominates(self, u: Vertex, v: Vertex) -> bool:
         """DAG orientation of r-dominance: true partial order + id tie-break."""
-        case = dominance_case(self._cscores[u], self._cscores[v], SCORE_EPS)
+        case = dominance_case(self._cscore(u), self._cscore(v), SCORE_EPS)
         if case == DOMINATES:
             return True
         if case == EQUAL:
@@ -112,52 +148,96 @@ class DominanceGraph:
             return u < v
         return False
 
-    def _find_parents(
-        self, v: Vertex, cs_matrix: np.ndarray, count: int
-    ) -> list[Vertex]:
-        """Most specific r-dominators of ``v`` among inserted vertices.
-
-        One vectorized corner-score comparison finds *all* dominators D
-        (pivot ordering guarantees they were inserted earlier; weak
-        inequality covers score-equal twins, oriented by insertion
-        order).  The Hasse parents are the minimal elements of D: every
-        non-minimal dominator is an ancestor of a deeper one, and all
-        ancestors of a dominator are dominators themselves (transitivity),
-        so the non-minimal set is exactly the union of the Hasse parents
-        of D's members.
-        """
-        if count == 0:
-            return []
-        cs_v = self._cscores[v]
-        diff = cs_matrix[:count] - cs_v
-        dominator_rows = np.nonzero(
-            np.all(diff >= -SCORE_EPS, axis=1)
-        )[0]
-        if dominator_rows.size == 0:
-            return []
-        dominators = [self.order[i] for i in dominator_rows]
-        non_minimal: set[Vertex] = set()
-        for d in dominators:
-            non_minimal.update(self.parents[d])
-        return [d for d in dominators if d not in non_minimal]
-
     def _build(self, use_rtree: bool) -> None:
+        if self.backend == "flat":
+            self._build_flat(use_rtree)
+        else:
+            self._build_python(use_rtree)
+
+    def _attach(self, v: Vertex, parents: list[Vertex]) -> None:
+        """Shared bookkeeping once a vertex's Hasse parents are known."""
+        self._pos[v] = len(self.order)
+        self.order.append(v)
+        self.parents[v] = tuple(parents)
+        for par in parents:
+            self.children[par].append(v)
+        if not parents:
+            self.roots.append(v)
+        self._layer[v] = (
+            0 if not parents else 1 + max(self._layer[p] for p in parents)
+        )
+
+    def _build_flat(self, use_rtree: bool) -> None:
+        """Vectorized insertion: one comparison and one gather per vertex.
+
+        ``cs_ins`` mirrors the corner scores in insertion order;
+        ``parent_flat``/``parent_ptr`` store each inserted row's Hasse
+        parents as rows (an append-only CSR).  The dominators D of an
+        arrival are one ``all(diff >= -eps)`` row reduction; the
+        non-minimal members of D are exactly the union of the Hasse
+        parents of D (every non-minimal dominator is an ancestor of a
+        deeper one, and ancestors of dominators are dominators), so the
+        Hasse parents fall out of one ragged gather + mask instead of a
+        per-dominator set union.
+        """
         n = len(self._ids)
-        p = max(1, self._corners.shape[0])
-        cs_matrix = np.empty((n, p))
+        p = self._cs_all.shape[1]
+        cs_ins = np.empty((n, p))
+        parent_ptr = np.zeros(n + 1, np.int64)
+        parent_flat = np.empty(max(4, n), np.int64)
+        parent_len = 0
+        mark = np.zeros(n, bool)
         for v in self._stream(use_rtree):
             count = len(self.order)
-            parents = self._find_parents(v, cs_matrix, count)
-            self._pos[v] = count
-            self.order.append(v)
-            cs_matrix[count] = self._cscores[v]
-            self.parents[v] = tuple(parents)
-            for par in parents:
-                self.children[par].append(v)
-            if not parents:
-                self.roots.append(v)
-            self._layer[v] = (
-                0 if not parents else 1 + max(self._layer[p] for p in parents)
+            cs_v = self._cscore(v)
+            if count == 0:
+                minimal_rows: list[int] = []
+            else:
+                diff = cs_ins[:count] - cs_v
+                dominator_rows = np.nonzero(
+                    np.all(diff >= -SCORE_EPS, axis=1)
+                )[0]
+                if dominator_rows.size == 0:
+                    minimal_rows = []
+                else:
+                    offs, _counts = ragged_offsets(
+                        parent_ptr, dominator_rows
+                    )
+                    if offs.size:
+                        non_minimal = parent_flat[offs]
+                        mark[non_minimal] = True
+                        minimal = dominator_rows[~mark[dominator_rows]]
+                        mark[non_minimal] = False
+                    else:
+                        minimal = dominator_rows
+                    minimal_rows = minimal.tolist()
+            cs_ins[count] = cs_v
+            need = parent_len + len(minimal_rows)
+            if need > parent_flat.shape[0]:
+                parent_flat = np.resize(
+                    parent_flat, max(need, 2 * parent_flat.shape[0])
+                )
+            for r in minimal_rows:
+                parent_flat[parent_len] = r
+                parent_len += 1
+            parent_ptr[count + 1] = parent_len
+            self._attach(v, [self.order[r] for r in minimal_rows])
+
+    def _build_python(self, use_rtree: bool) -> None:
+        """Reference path: pairwise tests against every inserted vertex."""
+        for v in self._stream(use_rtree):
+            cs_v = self._cscore(v)
+            dominators = [
+                u
+                for u in self.order
+                if dominance_case(self._cscore(u), cs_v, SCORE_EPS)
+                in (DOMINATES, EQUAL)
+            ]
+            non_minimal: set[Vertex] = set()
+            for dom in dominators:
+                non_minimal.update(self.parents[dom])
+            self._attach(
+                v, [dom for dom in dominators if dom not in non_minimal]
             )
 
     # ------------------------------------------------------------------
@@ -297,8 +377,12 @@ def build_dominance_graph(
     attributes: Mapping[Vertex, np.ndarray],
     region: PreferenceRegion,
     use_rtree: bool = True,
+    backend: str = "auto",
 ) -> DominanceGraph:
     """Convenience constructor over a vertex subset."""
     return DominanceGraph(
-        {v: attributes[v] for v in vertices}, region, use_rtree=use_rtree
+        {v: attributes[v] for v in vertices},
+        region,
+        use_rtree=use_rtree,
+        backend=backend,
     )

@@ -38,14 +38,23 @@ from repro.core.local_search import LocalSearch
 from repro.core.query import MACQuery, PartitionEntry
 from repro.dominance.graph import DominanceGraph
 from repro.engine.cache import CacheStats, LRUCache
-from repro.engine.request import MACRequest
+from repro.engine.request import BACKENDS, MACRequest
 from repro.errors import QueryError
 from repro.graph.core import core_decomposition
+from repro.kernels import (
+    FlatGraph,
+    core_numbers,
+    k_core_component,
+    resolve_backend,
+)
 from repro.social.roadsocial import (
     KTCore,
     RoadSocialNetwork,
     kt_core_from_coreness,
 )
+
+#: Stages whose wall time the engine accounts separately.
+STAGES = ("filter", "core", "dominance", "search")
 
 SEARCHER_NAMES = {
     ("global", "nc"): "GS-NC",
@@ -57,12 +66,20 @@ SEARCHER_NAMES = {
 
 @dataclass
 class _PreparedFilter:
-    """Cached per-(Q, t) state: Lemma-1 filter plus coreness arrays."""
+    """Cached per-(Q, t) state: Lemma-1 filter plus coreness arrays.
+
+    On the flat backend the stage also materializes the CSR view of the
+    filtered subgraph and the per-row coreness array, so every later
+    (Q, k, t) core extraction reuses them instead of re-deriving flat
+    state per k.
+    """
 
     query_distance: dict[int, float]
     filtered: object  # AdjacencyGraph of the t-bounded social subgraph
     coreness: dict[int, int]
     max_coreness: int
+    flat: FlatGraph | None = None
+    core_rows: object | None = None  # np.ndarray aligned with flat rows
 
 
 @dataclass
@@ -75,7 +92,13 @@ class _PreparedCore:
 
 @dataclass(frozen=True)
 class EngineTelemetry:
-    """Aggregate counters of an engine instance."""
+    """Aggregate counters of an engine instance.
+
+    ``stage_seconds`` holds the cumulative wall time spent *building*
+    each pipeline stage (cache hits contribute nothing) plus the time
+    spent in the search phase — the observability hook that makes
+    per-stage backend wins measurable.
+    """
 
     searches: int
     batches: int
@@ -83,6 +106,7 @@ class EngineTelemetry:
     core: CacheStats
     dominance: CacheStats
     result: CacheStats
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -114,11 +138,13 @@ class QueryPlan:
     algorithm_reason: str
     searcher: str
     filter_strategy: str
+    backend: str
     gtree_built: bool
     cached: dict[str, bool]
     feasible: bool | None
     htk_vertices: int | None
     htk_upper_bound: int
+    stage_seconds: dict = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
@@ -127,6 +153,7 @@ class QueryPlan:
             f"  searcher        {self.searcher} ({self.algorithm_reason})",
             f"  range filter    {self.filter_strategy} "
             f"(G-tree built: {self.gtree_built})",
+            f"  backend         {self.backend}",
             f"  cached stages   "
             + ", ".join(f"{k}={v}" for k, v in self.cached.items()),
             f"  |H^t_k|         "
@@ -137,6 +164,11 @@ class QueryPlan:
             ),
             f"  feasible        "
             + ("unknown" if self.feasible is None else str(self.feasible)),
+            f"  stage seconds   "
+            + ", ".join(
+                f"{k}={v:.3f}" for k, v in self.stage_seconds.items()
+            )
+            + " (engine totals)",
         ]
         lines.extend(f"  note: {n}" for n in self.notes)
         return "\n".join(lines)
@@ -156,6 +188,13 @@ class MACEngine:
         ``MACRequest.use_gtree`` as ``None``: ``True`` / ``False`` force
         it; ``"auto"`` uses the G-tree when the road network has at
         least ``gtree_auto_threshold`` vertices.
+    backend:
+        Default compute backend for requests that leave
+        ``MACRequest.backend`` as ``None``: ``"flat"`` runs the
+        vectorized CSR kernels (``repro.kernels``), ``"python"`` the
+        original per-vertex implementations, ``"auto"`` picks by social
+        network size.  Both produce identical results; the selector is
+        resolved once per request so all cache keys are canonical.
     eager:
         Build the G-tree at construction time (only when the resolved
         default strategy uses it) instead of on first use.
@@ -175,6 +214,7 @@ class MACEngine:
         gtree_auto_threshold: int = 2048,
         gtree_leaf_size: int = 64,
         auto_local_threshold: int = 256,
+        backend: str = "auto",
         filter_cache_size: int = 128,
         core_cache_size: int = 128,
         dominance_cache_size: int = 64,
@@ -185,7 +225,12 @@ class MACEngine:
             raise QueryError(
                 f"use_gtree must be True, False or 'auto', got {use_gtree!r}"
             )
+        if backend not in BACKENDS:
+            raise QueryError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.network = network
+        self._default_backend = backend
         self.gtree_leaf_size = gtree_leaf_size
         self.auto_local_threshold = auto_local_threshold
         if use_gtree == "auto":
@@ -203,6 +248,7 @@ class MACEngine:
         self._counter_lock = threading.Lock()
         self._searches = 0
         self._batches = 0
+        self._stage_seconds = {stage: 0.0 for stage in STAGES}
         if eager:
             self.prepare()
 
@@ -212,7 +258,14 @@ class MACEngine:
     def prepare(self) -> None:
         """Eagerly build network-level indexes the default plan will use."""
         if self._default_use_gtree:
-            self.network.build_gtree(leaf_size=self.gtree_leaf_size)
+            # Raw selector: the G-tree resolves "auto" by *road* size
+            # (its per-kernel rule), same as a lazy first query would.
+            self.network.build_gtree(
+                leaf_size=self.gtree_leaf_size,
+                backend=self._default_backend,
+            )
+        if self._resolve_backend_selector(self._default_backend) == "flat":
+            self.network.road.flat()
 
     def clear_caches(self) -> None:
         """Drop all cached query state (keeps the network's G-tree)."""
@@ -226,6 +279,7 @@ class MACEngine:
         """Aggregate cache and search counters since construction."""
         with self._counter_lock:
             searches, batches = self._searches, self._batches
+            stage_seconds = dict(self._stage_seconds)
         disabled = CacheStats(hits=0, misses=0, size=0, capacity=0)
         return EngineTelemetry(
             searches=searches,
@@ -238,7 +292,13 @@ class MACEngine:
                 if self._result_cache is not None
                 else disabled
             ),
+            stage_seconds=stage_seconds,
         )
+
+    def _account_stage_times(self, times: dict[str, float]) -> None:
+        with self._counter_lock:
+            for stage, seconds in times.items():
+                self._stage_seconds[stage] += seconds
 
     # ------------------------------------------------------------------
     # the staged, cached pipeline
@@ -262,48 +322,127 @@ class MACEngine:
             return self._default_use_gtree
         return request.use_gtree
 
+    def _resolve_backend_selector(self, selector: str) -> str:
+        """Concrete ``"flat"``/``"python"`` for an ``"auto"`` selector.
+
+        ``"auto"`` is resolved once, against the social-network size (the
+        substrate every staged kernel runs on), so cache keys stay
+        canonical across requests that spell the default differently.
+        """
+        return resolve_backend(selector, self.network.social.num_users)
+
+    def _resolve_backend(self, request: MACRequest) -> str:
+        selector = (
+            request.backend
+            if request.backend is not None
+            else self._default_backend
+        )
+        return self._resolve_backend_selector(selector)
+
     def _prepared_filter(
-        self, request: MACRequest, use_gtree: bool, tel: dict
+        self,
+        request: MACRequest,
+        use_gtree: bool,
+        backend: str,
+        tel: dict,
+        times: dict,
     ) -> _PreparedFilter:
         def build() -> _PreparedFilter:
+            start = time.perf_counter()
+            # The road stage gets the *raw* selector: an "auto" request
+            # lets bounded Dijkstra apply its own per-kernel rule (flat
+            # measures slower there), while the resolved ``backend``
+            # governs the social kernels below and the cache keys.
+            selector = (
+                request.backend
+                if request.backend is not None
+                else self._default_backend
+            )
             dq = self.network.query_distance_filter(
-                request.query, request.t, use_gtree=use_gtree
+                request.query, request.t,
+                use_gtree=use_gtree, backend=selector,
             )
             filtered = self.network.social.graph.subgraph(dq)
-            coreness = core_decomposition(filtered)
+            flat = core_rows = None
+            if backend == "flat" and filtered.num_vertices:
+                flat = FlatGraph.from_adjacency(filtered)
+                core_rows = core_numbers(flat)
+                coreness = flat.relabel(core_rows)
+            else:
+                coreness = core_decomposition(filtered, backend=backend)
+            times["filter"] = time.perf_counter() - start
             return _PreparedFilter(
                 query_distance=dq,
                 filtered=filtered,
                 coreness=coreness,
                 max_coreness=max(coreness.values(), default=0),
+                flat=flat,
+                core_rows=core_rows,
             )
 
-        prep, hit = self._filter_cache.get_or_create(request.filter_key, build)
+        prep, hit = self._filter_cache.get_or_create(
+            request.filter_key + (backend,), build
+        )
         tel["filter"] = "hit" if hit else "miss"
         return prep
 
+    def _extract_core(
+        self, prep: _PreparedFilter, request: MACRequest
+    ) -> KTCore | None:
+        """H^t_k from prepared filter state (flat fast path when cached)."""
+        if prep.flat is not None:
+            flat = prep.flat
+            if any(q not in flat for q in request.query):
+                return None
+            comp = k_core_component(
+                flat, flat.rows_of(request.query), request.k, prep.core_rows
+            )
+            if comp is None:
+                return None
+            graph = prep.filtered.subgraph(flat.select_ids(comp))
+            return KTCore(
+                graph=graph,
+                query_distance={
+                    v: prep.query_distance[v] for v in graph.vertices()
+                },
+            )
+        return kt_core_from_coreness(
+            prep.filtered,
+            prep.coreness,
+            prep.query_distance,
+            request.query,
+            request.k,
+        )
+
     def _prepared_core(
-        self, request: MACRequest, use_gtree: bool, tel: dict
+        self,
+        request: MACRequest,
+        use_gtree: bool,
+        backend: str,
+        tel: dict,
+        times: dict,
     ) -> _PreparedCore:
         def build() -> _PreparedCore:
-            prep = self._prepared_filter(request, use_gtree, tel)
-            if request.k > prep.max_coreness:
-                return _PreparedCore(None, None)
-            core = kt_core_from_coreness(
-                prep.filtered,
-                prep.coreness,
-                prep.query_distance,
-                request.query,
-                request.k,
+            prep = self._prepared_filter(
+                request, use_gtree, backend, tel, times
             )
-            if core is None:
-                return _PreparedCore(None, None)
-            attrs = self.network.social.attributes_for(
-                core.graph.vertices()
-            )
-            return _PreparedCore(core, attrs)
+            start = time.perf_counter()
+            try:
+                if request.k > prep.max_coreness:
+                    return _PreparedCore(None, None)
+                core = self._extract_core(prep, request)
+                if core is None:
+                    return _PreparedCore(None, None)
+                attrs = self.network.social.attributes_for(
+                    core.graph.vertices()
+                )
+                return _PreparedCore(core, attrs)
+            finally:
+                times["core"] = time.perf_counter() - start
 
-        state, hit = self._core_cache.get_or_create(request.core_key, build)
+        state, hit = self._core_cache.get_or_create(
+            request.core_key + (backend,), build
+        )
         tel["core"] = "hit" if hit else "miss"
         if hit:
             # The filter stage was skipped entirely — record the reuse.
@@ -311,12 +450,25 @@ class MACEngine:
         return state
 
     def _dominance(
-        self, request: MACRequest, core_state: _PreparedCore, tel: dict
+        self,
+        request: MACRequest,
+        core_state: _PreparedCore,
+        backend: str,
+        tel: dict,
+        times: dict,
     ) -> DominanceGraph:
         def build() -> DominanceGraph:
-            return DominanceGraph(core_state.attributes, request.region)
+            start = time.perf_counter()
+            try:
+                return DominanceGraph(
+                    core_state.attributes, request.region, backend=backend
+                )
+            finally:
+                times["dominance"] = time.perf_counter() - start
 
-        gd, hit = self._gd_cache.get_or_create(request.dominance_key, build)
+        gd, hit = self._gd_cache.get_or_create(
+            request.dominance_key + (backend,), build
+        )
         tel["dominance"] = "hit" if hit else "miss"
         return gd
 
@@ -406,7 +558,10 @@ class MACEngine:
         entry["label"] = request.label
         if hit:
             entry["cache"] = {"result": "hit"}
-            entry["timings"] = {"prepare": 0.0, "search": 0.0}
+            entry["timings"] = {
+                "prepare": 0.0, "search": 0.0,
+                "filter": 0.0, "core": 0.0, "dominance": 0.0,
+            }
             elapsed = time.perf_counter() - start
         else:
             entry["cache"] = {
@@ -427,23 +582,28 @@ class MACEngine:
     def _execute(self, request: MACRequest) -> MACSearchResult:
         """The uncached pipeline: prepare (via stage caches) + search."""
         use_gtree = self._resolve_use_gtree(request)
+        backend = self._resolve_backend(request)
         q = MACQuery.make(
             request.query, request.k, request.t, request.region, request.j
         )
         start = time.perf_counter()
         tel_cache: dict[str, str] = {}
-        core_state = self._prepared_core(request, use_gtree, tel_cache)
+        times: dict[str, float] = {}
+        core_state = self._prepared_core(
+            request, use_gtree, backend, tel_cache, times
+        )
         if core_state.core is None:
             tel_cache["dominance"] = "skipped"
+            self._account_stage_times(times)
             result = MACSearchResult(
                 q, [], SearchStats(), time.perf_counter() - start
             )
             result.extra["engine"] = self._telemetry_entry(
-                request, "none", use_gtree, tel_cache,
+                request, "none", use_gtree, backend, tel_cache, times,
                 prepare_s=time.perf_counter() - start, search_s=0.0,
             )
             return result
-        gd = self._dominance(request, core_state, tel_cache)
+        gd = self._dominance(request, core_state, backend, tel_cache, times)
         prepare_s = time.perf_counter() - start
         algorithm, _reason = self._resolve_algorithm(
             request, core_state.core.num_vertices
@@ -453,6 +613,8 @@ class MACEngine:
             request, algorithm, core_state.core, gd
         )
         search_s = time.perf_counter() - search_start
+        times["search"] = search_s
+        self._account_stage_times(times)
         result = MACSearchResult(
             q,
             partitions,
@@ -462,7 +624,7 @@ class MACEngine:
             htk_edges=core_state.core.num_edges,
         )
         result.extra["engine"] = self._telemetry_entry(
-            request, algorithm, use_gtree, tel_cache,
+            request, algorithm, use_gtree, backend, tel_cache, times,
             prepare_s=prepare_s, search_s=search_s,
         )
         return result
@@ -472,16 +634,23 @@ class MACEngine:
         request: MACRequest,
         algorithm: str,
         use_gtree: bool,
+        backend: str,
         tel_cache: dict[str, str],
+        times: dict[str, float],
         prepare_s: float,
         search_s: float,
     ) -> dict:
+        timings = {"prepare": prepare_s, "search": search_s}
+        # Per-stage build cost of this request (0.0 = served from cache).
+        for stage in ("filter", "core", "dominance"):
+            timings[stage] = times.get(stage, 0.0)
         return {
             "label": request.label,
             "algorithm": algorithm,
             "filter_strategy": "gtree" if use_gtree else "dijkstra",
+            "backend": backend,
             "cache": dict(tel_cache),
-            "timings": {"prepare": prepare_s, "search": search_s},
+            "timings": timings,
         }
 
     def warm(self, request: MACRequest) -> dict[str, str]:
@@ -496,12 +665,17 @@ class MACEngine:
         """
         request = self._check(request)
         use_gtree = self._resolve_use_gtree(request)
+        backend = self._resolve_backend(request)
         tel: dict[str, str] = {}
-        core_state = self._prepared_core(request, use_gtree, tel)
+        times: dict[str, float] = {}
+        core_state = self._prepared_core(
+            request, use_gtree, backend, tel, times
+        )
         if core_state.core is not None:
-            self._dominance(request, core_state, tel)
+            self._dominance(request, core_state, backend, tel, times)
         else:
             tel["dominance"] = "skipped"
+        self._account_stage_times(times)
         return tel
 
     def search_batch(
@@ -540,9 +714,16 @@ class MACEngine:
         """
         request = self._check(request)
         use_gtree = self._resolve_use_gtree(request)
-        prep, prep_cached = self._filter_cache.peek(request.filter_key)
-        core_state, core_cached = self._core_cache.peek(request.core_key)
-        _gd, gd_cached = self._gd_cache.peek(request.dominance_key)
+        backend = self._resolve_backend(request)
+        prep, prep_cached = self._filter_cache.peek(
+            request.filter_key + (backend,)
+        )
+        core_state, core_cached = self._core_cache.peek(
+            request.core_key + (backend,)
+        )
+        _gd, gd_cached = self._gd_cache.peek(
+            request.dominance_key + (backend,)
+        )
         if self._result_cache is not None:
             template, result_cached = self._result_cache.peek(
                 request.result_key
@@ -618,6 +799,8 @@ class MACEngine:
             searcher = "none"
         else:
             searcher = SEARCHER_NAMES[(algorithm, request.problem)]
+        with self._counter_lock:
+            stage_seconds = dict(self._stage_seconds)
         return QueryPlan(
             request=request,
             problem=request.problem,
@@ -625,6 +808,7 @@ class MACEngine:
             algorithm_reason=reason,
             searcher=searcher,
             filter_strategy="gtree" if use_gtree else "dijkstra",
+            backend=backend,
             gtree_built=self.network.has_gtree,
             cached={
                 "filter": prep_cached,
@@ -635,6 +819,7 @@ class MACEngine:
             feasible=feasible,
             htk_vertices=htk_vertices,
             htk_upper_bound=upper,
+            stage_seconds=stage_seconds,
             notes=notes,
         )
 

@@ -11,6 +11,7 @@ from repro.graph.core import (
     coreness_upper_bound,
     k_core,
     k_core_containing,
+    k_cores_containing,
     peel_to_k_core,
 )
 from repro.graph.truss import k_truss, truss_decomposition
@@ -26,6 +27,7 @@ __all__ = [
     "coreness_upper_bound",
     "k_core",
     "k_core_containing",
+    "k_cores_containing",
     "peel_to_k_core",
     "k_truss",
     "truss_decomposition",

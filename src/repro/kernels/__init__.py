@@ -1,0 +1,43 @@
+"""Flat-array compute kernels: the package's performance layer.
+
+Every hot kernel of the reproduction — core decomposition, peeling
+cascades, connected components, bounded Dijkstra, G-tree matrix
+assembly, corner-score dominance sweeps — has a vectorized
+implementation here, operating on an int-indexed CSR graph
+(:class:`FlatGraph`) instead of dicts-of-sets.  The higher layers
+(``graph.core``, ``road.dijkstra``, ``road.gtree``,
+``dominance.graph``) delegate to these kernels behind their existing
+APIs; the pure-Python paths remain available as ``backend="python"``
+and are asserted equivalent in ``tests/kernels/``.
+"""
+
+from repro.kernels.backend import BACKENDS, resolve_backend
+from repro.kernels.core import (
+    component_labels,
+    component_mask,
+    core_numbers,
+    k_core_component,
+    k_core_mask,
+)
+from repro.kernels.flatgraph import FlatGraph
+from repro.kernels.paths import (
+    all_pairs_minplus,
+    bounded_dijkstra_rows,
+    dense_weight_matrix,
+    masked_dijkstra_rows,
+)
+
+__all__ = [
+    "BACKENDS",
+    "FlatGraph",
+    "all_pairs_minplus",
+    "bounded_dijkstra_rows",
+    "component_labels",
+    "component_mask",
+    "core_numbers",
+    "dense_weight_matrix",
+    "k_core_component",
+    "k_core_mask",
+    "masked_dijkstra_rows",
+    "resolve_backend",
+]

@@ -1,0 +1,32 @@
+"""Backend selection shared by every kernel-accelerated entry point.
+
+``"flat"`` runs the vectorized CSR kernels, ``"python"`` the original
+dict/heap implementations, and ``"auto"`` picks per call site: flat for
+graphs large enough that numpy wins, python below that (array setup has
+a fixed cost the dict paths do not pay on tiny inputs).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+
+#: Valid backend selectors, in every ``backend=`` parameter.
+BACKENDS = ("auto", "flat", "python")
+
+#: ``"auto"`` switches to the flat kernels at this vertex count.  The
+#: flat paths pay a CSR conversion per call; measured one-shot breakeven
+#: against the python paths sits around a couple thousand vertices
+#: (callers that convert once and reuse — e.g. the engine's prepared
+#: stages — can force ``"flat"`` below it).
+AUTO_FLAT_MIN_VERTICES = 2048
+
+
+def resolve_backend(backend: str, num_vertices: int) -> str:
+    """Map a backend selector to the concrete ``"flat"``/``"python"``."""
+    if backend not in BACKENDS:
+        raise GraphError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "flat" if num_vertices >= AUTO_FLAT_MIN_VERTICES else "python"
+    return backend

@@ -3,6 +3,15 @@
 Provides plain and distance-bounded Dijkstra from vertices or from
 ``SpatialPoint``s lying mid-edge, plus the query-distance aggregation
 ``D_Q(v) = max_q dist(L(v), L(q))`` of Definition 2.
+
+All entry points take ``backend="auto" | "flat" | "python"``: the flat
+backend runs :func:`repro.kernels.bounded_dijkstra_rows` on the road's
+cached CSR view (flat distance table, list-indexed adjacency); the
+python backend is the original dict-keyed heap loop.  Unlike the core
+and dominance kernels, Dijkstra on the bundled road shapes (degree
+~2.5) is heap-bound and the flat path measures break-even to slower
+(``BENCH_kernels.json``), so ``"auto"`` resolves to python here — the
+flat path runs only when requested explicitly.
 """
 
 from __future__ import annotations
@@ -11,6 +20,8 @@ import heapq
 import math
 from collections.abc import Iterable
 
+from repro.errors import GraphError
+from repro.kernels import BACKENDS, bounded_dijkstra_rows
 from repro.road.network import RoadNetwork, SpatialPoint
 
 INF = math.inf
@@ -26,18 +37,33 @@ def _seed_heap(road: RoadNetwork, source: SpatialPoint) -> list[tuple[float, int
 
 
 def dijkstra(
-    road: RoadNetwork, source: SpatialPoint | int
+    road: RoadNetwork, source: SpatialPoint | int, backend: str = "auto"
 ) -> dict[int, float]:
     """Distances from ``source`` to every reachable road vertex."""
-    return bounded_dijkstra(road, source, INF)
+    return bounded_dijkstra(road, source, INF, backend=backend)
 
 
 def bounded_dijkstra(
-    road: RoadNetwork, source: SpatialPoint | int, bound: float
+    road: RoadNetwork,
+    source: SpatialPoint | int,
+    bound: float,
+    backend: str = "auto",
 ) -> dict[int, float]:
     """Distances from ``source`` to vertices within ``bound`` (inclusive)."""
     if isinstance(source, int):
         source = SpatialPoint.at_vertex(source)
+    if backend not in BACKENDS:
+        raise GraphError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "flat":
+        fg = road.flat()
+        seeds = [
+            (fg.row_of(v), off) for off, v in _seed_heap(road, source)
+        ]
+        rows = bounded_dijkstra_rows(fg, seeds, bound)
+        ids = fg.ids
+        return {ids[r]: d for r, d in rows.items()}
     dist: dict[int, float] = {}
     heap = [e for e in _seed_heap(road, source) if e[0] <= bound]
     heapq.heapify(heap)
@@ -65,7 +91,10 @@ def _point_distance(dist: dict[int, float], target: SpatialPoint,
 
 
 def network_distance(
-    road: RoadNetwork, a: SpatialPoint | int, b: SpatialPoint | int
+    road: RoadNetwork,
+    a: SpatialPoint | int,
+    b: SpatialPoint | int,
+    backend: str = "auto",
 ) -> float:
     """Shortest network distance between two locations (+inf if disconnected).
 
@@ -82,7 +111,7 @@ def network_distance(
         if same:
             off_b = b.offset if a.u == b.u else road.weight(a.u, a.v) - b.offset
             direct = abs(a.offset - off_b)
-    dist = dijkstra(road, a)
+    dist = dijkstra(road, a, backend=backend)
     return min(direct, _point_distance(dist, b, road))
 
 
@@ -90,6 +119,7 @@ def query_distances(
     road: RoadNetwork,
     query_points: Iterable[SpatialPoint],
     bound: float = INF,
+    backend: str = "auto",
 ) -> dict[int, float]:
     """``D_Q`` over road vertices: max distance to any query point (Def. 2).
 
@@ -98,7 +128,7 @@ def query_distances(
     """
     result: dict[int, float] | None = None
     for q in query_points:
-        d = bounded_dijkstra(road, q, bound)
+        d = bounded_dijkstra(road, q, bound, backend=backend)
         if result is None:
             result = d
         else:

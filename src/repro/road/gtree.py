@@ -27,7 +27,15 @@ import math
 from collections import deque
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.errors import GraphError
+from repro.kernels import (
+    all_pairs_minplus,
+    dense_weight_matrix,
+    masked_dijkstra_rows,
+    resolve_backend,
+)
 from repro.road.network import RoadNetwork, SpatialPoint
 
 INF = math.inf
@@ -97,13 +105,27 @@ class GTree:
         The indexed network (kept by reference; do not mutate afterwards).
     leaf_size:
         Maximum number of vertices per leaf node.
+    backend:
+        ``"flat"`` assembles the distance matrices with the vectorized
+        kernels (dense min-plus all-pairs per node instead of a python
+        Dijkstra per border) on the road's cached CSR view;
+        ``"python"`` keeps the original per-border loops; ``"auto"``
+        picks by network size.  Matrices are equal up to floating-point
+        associativity of path sums.
     """
 
-    def __init__(self, road: RoadNetwork, leaf_size: int = 64) -> None:
+    def __init__(
+        self,
+        road: RoadNetwork,
+        leaf_size: int = 64,
+        backend: str = "auto",
+    ) -> None:
         if leaf_size < 2:
             raise GraphError(f"leaf_size must be >= 2, got {leaf_size}")
         self._road = road
         self._leaf_size = leaf_size
+        self.backend = resolve_backend(backend, road.num_vertices)
+        self._flat = road.flat() if self.backend == "flat" else None
         self._nodes: list[_Node] = []
         self._leaf_of: dict[int, int] = {}
         # border vertex -> [(node index, )] where it appears in a matrix
@@ -165,6 +187,16 @@ class GTree:
         self, source: int, vertices: set[int]
     ) -> dict[int, float]:
         """Plain Dijkstra restricted to the induced subgraph on vertices."""
+        if self._flat is not None:
+            fg = self._flat
+            allowed = {fg.row_of(v) for v in vertices}
+            ids = fg.ids
+            return {
+                ids[r]: d
+                for r, d in masked_dijkstra_rows(
+                    fg, fg.row_of(source), allowed
+                ).items()
+            }
         dist: dict[int, float] = {}
         heap = [(0.0, source)]
         while heap:
@@ -178,6 +210,22 @@ class GTree:
         return dist
 
     def _build_leaf_matrix(self, node: _Node) -> None:
+        if self._flat is not None:
+            # Dense all-pairs over the leaf subgraph (<= leaf_size rows):
+            # one vectorized min-plus sweep computes every border row at
+            # once instead of a python Dijkstra per border.
+            fg = self._flat
+            rows = np.sort(np.asarray(fg.rows_of(node.vertices), np.int64))
+            dense = all_pairs_minplus(dense_weight_matrix(fg, rows))
+            ids = [fg.ids[r] for r in rows.tolist()]
+            border_pos = np.searchsorted(rows, fg.rows_of(node.borders))
+            for b, i in zip(node.borders, border_pos.tolist()):
+                row = dense[i]
+                finite = np.nonzero(np.isfinite(row))[0]
+                node.matrix[b] = {
+                    ids[j]: float(row[j]) for j in finite.tolist()
+                }
+            return
         for b in node.borders:
             node.matrix[b] = self._dijkstra_within(b, node.vertices)
 
@@ -188,6 +236,9 @@ class GTree:
         for child in children:
             union.update(child.borders)
         # Mini-graph: child matrices as cliques + cross-child edges.
+        if self._flat is not None:
+            self._build_internal_matrix_flat(node, children, union)
+            return
         adj: dict[int, list[tuple[int, float]]] = {b: [] for b in union}
         for child in children:
             idx = (
@@ -219,6 +270,43 @@ class GTree:
                     if v not in dist:
                         heapq.heappush(heap, (d + w, v))
             node.matrix[b] = dist
+
+    def _build_internal_matrix_flat(
+        self, node: _Node, children: list[_Node], union: set[int]
+    ) -> None:
+        """Same mini-graph, solved as one dense min-plus all-pairs."""
+        borders = sorted(union)
+        pos = {b: i for i, b in enumerate(borders)}
+        m = len(borders)
+        dense = np.full((m, m), INF)
+        np.fill_diagonal(dense, 0.0)
+        for child in children:
+            idx = (
+                child.borders
+                if child.is_leaf
+                else [b for b in child.matrix if b in union]
+            )
+            for b in idx:
+                row = child.matrix.get(b, {})
+                i = pos[b]
+                for b2 in idx:
+                    if b2 != b:
+                        d = row.get(b2, INF)
+                        if d < dense[i, pos[b2]]:
+                            dense[i, pos[b2]] = d
+        for b in borders:
+            i = pos[b]
+            for v, w in self._road.neighbors(b).items():
+                j = pos.get(v)
+                if j is not None and v in node.vertices and w < dense[i, j]:
+                    dense[i, j] = w
+        all_pairs_minplus(dense)
+        for b in borders:
+            row = dense[pos[b]]
+            finite = np.nonzero(np.isfinite(row))[0]
+            node.matrix[b] = {
+                borders[j]: float(row[j]) for j in finite.tolist()
+            }
 
     # ------------------------------------------------------------------
     # introspection

@@ -52,12 +52,13 @@ class RoadNetwork:
     check-in location mapper; distances are always *network* distances.
     """
 
-    __slots__ = ("_adj", "_coords", "_num_edges")
+    __slots__ = ("_adj", "_coords", "_num_edges", "_flat")
 
     def __init__(self) -> None:
         self._adj: dict[int, dict[int, float]] = {}
         self._coords: dict[int, tuple[float, float]] = {}
         self._num_edges = 0
+        self._flat = None
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +118,7 @@ class RoadNetwork:
         self._adj.setdefault(v, {})
         if xy is not None:
             self._coords[v] = (float(xy[0]), float(xy[1]))
+        self._flat = None
 
     def add_edge(self, u: int, v: int, weight: float) -> None:
         if u == v:
@@ -129,6 +131,22 @@ class RoadNetwork:
             self._num_edges += 1
         a[v] = float(weight)
         b[u] = float(weight)
+        self._flat = None
+
+    def flat(self):
+        """Cached CSR view (:class:`repro.kernels.FlatGraph`) of the network.
+
+        Built on first use and invalidated by any mutation; shared by
+        every flat-backend shortest-path call so the conversion cost is
+        paid once per network, not per query.  Concurrent first calls
+        may race to build — both produce identical snapshots, so the
+        benign race only wastes one build.
+        """
+        if self._flat is None:
+            from repro.kernels.flatgraph import FlatGraph
+
+            self._flat = FlatGraph.from_road(self)
+        return self._flat
 
     # ------------------------------------------------------------------
     def subgraph(self, keep: Iterable[int]) -> RoadNetwork:

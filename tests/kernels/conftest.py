@@ -1,0 +1,36 @@
+"""Shared fixtures for the kernel-backend equivalence suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.road.network import RoadNetwork
+
+
+def random_road(
+    n: int, extra_edges: int, seed: int, coords: bool = True
+) -> RoadNetwork:
+    """Connected random weighted road network (spanning tree + extras)."""
+    rng = np.random.default_rng(seed)
+    road = RoadNetwork()
+    for v in range(n):
+        xy = (float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+        road.add_vertex(v, xy if coords else None)
+    for v in range(1, n):
+        u = int(rng.integers(v))
+        road.add_edge(u, v, float(rng.uniform(0.5, 10.0)))
+    added = 0
+    while added < extra_edges:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and not (v in road.neighbors(u)):
+            road.add_edge(u, v, float(rng.uniform(0.5, 10.0)))
+            added += 1
+    return road
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A bundled dataset small enough for exhaustive cross-checks."""
+    return datasets.load_dataset("sf+slashdot", scale=0.1, seed=7)

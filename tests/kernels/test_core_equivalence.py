@@ -1,0 +1,151 @@
+"""Backend equivalence: core decomposition, peeling, components.
+
+The flat (batch-peeled, array-BFS) and python (position-swap bucket,
+cascade) backends must return identical coreness maps, k-cores, and
+query-anchored k-ĉores on random graphs and the bundled datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import random_graph
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.core import (
+    core_decomposition,
+    k_core_containing,
+    k_cores_containing,
+    peel_to_k_core,
+)
+from repro.kernels import FlatGraph, component_labels, component_mask
+
+
+def graphs_equal(a: AdjacencyGraph | None, b: AdjacencyGraph | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return (
+        set(a.vertices()) == set(b.vertices())
+        and {frozenset(e) for e in a.edges()}
+        == {frozenset(e) for e in b.edges()}
+    )
+
+
+class TestCoreDecomposition:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 160))
+        g = random_graph(n, float(rng.uniform(0.01, 0.2)), seed)
+        assert core_decomposition(g, backend="flat") == \
+            core_decomposition(g, backend="python")
+
+    def test_path_graph_long_cascade(self):
+        # Worst case for batch peeling (one cascade round per vertex)
+        # and for the old bucket layout (every edge appended an entry).
+        g = AdjacencyGraph([(i, i + 1) for i in range(500)])
+        flat = core_decomposition(g, backend="flat")
+        python = core_decomposition(g, backend="python")
+        assert flat == python
+        assert set(flat.values()) == {1}
+
+    def test_complete_graph(self):
+        n = 12
+        g = AdjacencyGraph(
+            [(i, j) for i in range(n) for j in range(i + 1, n)]
+        )
+        for backend in ("flat", "python"):
+            core = core_decomposition(g, backend=backend)
+            assert set(core.values()) == {n - 1}
+
+    def test_isolated_vertices(self):
+        g = AdjacencyGraph([(0, 1)])
+        g.add_vertex(99)
+        for backend in ("flat", "python"):
+            assert core_decomposition(g, backend=backend) == {
+                0: 1, 1: 1, 99: 0,
+            }
+
+    def test_bundled_dataset(self, small_dataset):
+        g = small_dataset.network.social.graph
+        assert core_decomposition(g, backend="flat") == \
+            core_decomposition(g, backend="python")
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            core_decomposition(AdjacencyGraph([(0, 1)]), backend="numpy")
+
+
+class TestPeeling:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5])
+    def test_peel_matches(self, seed, k):
+        g = random_graph(80, 0.08, seed)
+        assert graphs_equal(
+            peel_to_k_core(g, k, backend="flat"),
+            peel_to_k_core(g, k, backend="python"),
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_k_core_containing_matches(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = random_graph(80, 0.08, seed)
+        verts = sorted(g.vertices())
+        query = [int(v) for v in rng.choice(verts, size=2, replace=False)]
+        for k in (1, 2, 3, 4):
+            assert graphs_equal(
+                k_core_containing(g, query, k, backend="flat"),
+                k_core_containing(g, query, k, backend="python"),
+            )
+
+    def test_negative_k_rejected_on_both_backends(self):
+        from repro.errors import GraphError
+
+        g = random_graph(20, 0.2, 0)
+        for backend in ("flat", "python"):
+            with pytest.raises(GraphError):
+                peel_to_k_core(g, -1, backend=backend)
+            with pytest.raises(GraphError):
+                k_core_containing(g, [0], -1, backend=backend)
+            with pytest.raises(GraphError):
+                k_cores_containing(g, [0], [2, -1], backend=backend)
+
+    def test_batched_matches_single(self, small_dataset):
+        g = small_dataset.network.social.graph
+        query = sorted(g.vertices())[:2]
+        ks = (1, 2, 4, 6, 50)
+        for backend in ("flat", "python"):
+            batched = k_cores_containing(g, query, ks, backend=backend)
+            assert set(batched) == set(ks)
+            for k in ks:
+                assert graphs_equal(
+                    batched[k], k_core_containing(g, query, k)
+                )
+
+
+class TestComponents:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_labels_partition_matches_adjacency(self, seed):
+        g = random_graph(70, 0.03, seed)
+        fg = FlatGraph.from_adjacency(g)
+        labels = component_labels(fg)
+        by_label: dict[int, set] = {}
+        for v in g.vertices():
+            by_label.setdefault(int(labels[fg.row_of(v)]), set()).add(v)
+        expected = {frozenset(c) for c in g.connected_components()}
+        assert {frozenset(c) for c in by_label.values()} == expected
+
+    def test_mask_restricts(self):
+        g = AdjacencyGraph([(0, 1), (1, 2), (2, 3)])
+        fg = FlatGraph.from_adjacency(g)
+        mask = np.asarray([True, True, False, True])
+        comp = component_mask(fg, fg.row_of(0), mask)
+        assert fg.select_ids(comp) == [0, 1]
+        # source outside the mask: empty component
+        empty = component_mask(fg, fg.row_of(2), mask)
+        assert not empty.any()
+        # masked-out bridge vertex splits the rest
+        other = component_mask(fg, fg.row_of(3), mask)
+        assert fg.select_ids(other) == [3]

@@ -1,0 +1,148 @@
+"""Backend equivalence: bounded Dijkstra and G-tree range machinery.
+
+Flat distance maps must match the dict-based reference exactly in
+reached-vertex sets and up to float associativity in values — including
+mid-edge ``SpatialPoint`` sources and the ``D_Q`` aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.conftest import paper_road
+from tests.kernels.conftest import random_road
+from repro.road.dijkstra import (
+    bounded_dijkstra,
+    dijkstra,
+    network_distance,
+    query_distances,
+)
+from repro.road.network import SpatialPoint
+
+INF = math.inf
+
+
+def assert_dist_maps_equal(a: dict, b: dict) -> None:
+    assert set(a) == set(b)
+    for v in a:
+        assert a[v] == pytest.approx(b[v], rel=1e-9, abs=1e-9)
+
+
+class TestBoundedDijkstra:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_roads(self, seed):
+        rng = np.random.default_rng(seed)
+        road = random_road(120, 60, seed)
+        for _ in range(4):
+            src = int(rng.integers(120))
+            bound = float(rng.uniform(2.0, 40.0))
+            assert_dist_maps_equal(
+                bounded_dijkstra(road, src, bound, backend="flat"),
+                bounded_dijkstra(road, src, bound, backend="python"),
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mid_edge_sources(self, seed):
+        road = random_road(80, 40, seed)
+        rng = np.random.default_rng(200 + seed)
+        u = int(rng.integers(80))
+        v = next(iter(road.neighbors(u)))
+        p = SpatialPoint.on_edge(u, v, road.weight(u, v) * 0.4)
+        for bound in (5.0, 25.0, INF):
+            assert_dist_maps_equal(
+                bounded_dijkstra(road, p, bound, backend="flat"),
+                bounded_dijkstra(road, p, bound, backend="python"),
+            )
+
+    def test_unbounded_reaches_component(self):
+        road = paper_road()
+        flat = dijkstra(road, 1, backend="flat")
+        python = dijkstra(road, 1, backend="python")
+        assert_dist_maps_equal(flat, python)
+        assert set(flat) == set(road.vertices())
+
+    def test_disconnected_vertices_absent(self):
+        road = paper_road()
+        road.add_vertex(99)
+        flat = dijkstra(road, 1, backend="flat")
+        assert 99 not in flat
+
+    def test_zero_bound(self):
+        road = paper_road()
+        assert bounded_dijkstra(road, 1, 0.0, backend="flat") == \
+            bounded_dijkstra(road, 1, 0.0, backend="python") == {1: 0.0}
+
+
+class TestMaskedDijkstra:
+    def test_bool_mask_matches_row_set(self):
+        from repro.kernels import FlatGraph, masked_dijkstra_rows
+
+        road = random_road(40, 20, 2)
+        fg = road.flat()
+        mask = np.zeros(fg.n, dtype=bool)
+        mask[: fg.n // 2] = True
+        src = int(np.nonzero(mask)[0][0])
+        via_mask = masked_dijkstra_rows(fg, src, mask)
+        via_set = masked_dijkstra_rows(
+            fg, src, set(np.nonzero(mask)[0].tolist())
+        )
+        assert via_mask == via_set
+        # full mask == unrestricted reachability
+        full = masked_dijkstra_rows(fg, src, np.ones(fg.n, dtype=bool))
+        assert set(full) == set(
+            fg.row_of(v) for v in dijkstra(road, src, backend="python")
+        )
+        assert isinstance(FlatGraph.from_road(road), FlatGraph)
+
+    def test_auto_backend_keeps_python_path(self):
+        # Dijkstra's "auto" must resolve to python (flat measures
+        # break-even on road shapes) — same values either way.
+        road = random_road(100, 50, 3)
+        assert_dist_maps_equal(
+            bounded_dijkstra(road, 0, 30.0),  # auto
+            bounded_dijkstra(road, 0, 30.0, backend="python"),
+        )
+
+
+class TestAggregates:
+    def test_network_distance_matches(self):
+        road = random_road(60, 30, 5)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            a, b = (int(x) for x in rng.integers(60, size=2))
+            assert network_distance(road, a, b, backend="flat") == \
+                pytest.approx(
+                    network_distance(road, a, b, backend="python"),
+                    rel=1e-9,
+                )
+
+    def test_same_edge_points(self):
+        road = paper_road()
+        a = SpatialPoint.on_edge(2, 3, 1.0)
+        b = SpatialPoint.on_edge(3, 2, 1.5)  # same edge, other end
+        for backend in ("flat", "python"):
+            d = network_distance(road, a, b, backend=backend)
+            assert d == pytest.approx(1.5)
+
+    def test_query_distances_matches(self):
+        road = random_road(100, 50, 9)
+        points = [SpatialPoint.at_vertex(3), SpatialPoint.at_vertex(77)]
+        for bound in (10.0, 30.0):
+            assert_dist_maps_equal(
+                query_distances(road, points, bound, backend="flat"),
+                query_distances(road, points, bound, backend="python"),
+            )
+
+    def test_lemma1_filter_matches(self, small_dataset):
+        net = small_dataset.network
+        q = small_dataset.suggest_query(
+            2, k=4, t=small_dataset.default_t
+        )
+        for t in (small_dataset.default_t, small_dataset.default_t / 2):
+            assert_dist_maps_equal(
+                net.query_distance_filter(q, t, backend="flat"),
+                net.query_distance_filter(q, t, backend="python"),
+            )

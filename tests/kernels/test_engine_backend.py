@@ -1,0 +1,139 @@
+"""Engine-level backend selection, equivalence, and stage telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import paper_network, paper_region  # noqa: F401 (fixtures)
+from repro import MACEngine, MACRequest
+from repro.errors import QueryError
+
+
+def result_signature(result):
+    """Partition structure without Cell objects (identity equality)."""
+    return [
+        sorted(sorted(c.members) for c in entry.communities)
+        for entry in result.partitions
+    ]
+
+
+def make_engines(network):
+    return (
+        MACEngine(network, backend="flat"),
+        MACEngine(network, backend="python"),
+    )
+
+
+class TestBackendEquivalence:
+    def test_search_results_identical(self, paper_network, paper_region):
+        flat_engine, python_engine = make_engines(paper_network)
+        for problem, j, algorithm in (
+            ("nc", 1, "global"),
+            ("nc", 1, "local"),
+            ("topj", 2, "global"),
+        ):
+            request = MACRequest.make(
+                [2, 3, 6], 3, 9.0, paper_region,
+                j=j, problem=problem, algorithm=algorithm,
+            )
+            a = flat_engine.search(request)
+            b = python_engine.search(request)
+            assert a.htk_vertices == b.htk_vertices
+            assert a.htk_edges == b.htk_edges
+            assert result_signature(a) == result_signature(b)
+
+    def test_dataset_equivalence(self, small_dataset):
+        from repro.cli import resolve_search_defaults
+
+        ds = small_dataset
+        t, region = resolve_search_defaults(ds, 0.1, 3)
+        q = ds.suggest_query(2, k=4, t=t)
+        flat_engine, python_engine = make_engines(ds.network)
+        request = MACRequest.make(q, 4, t, region, algorithm="local")
+        a = flat_engine.search(request)
+        b = python_engine.search(request)
+        assert a.htk_vertices == b.htk_vertices
+        assert result_signature(a) == result_signature(b)
+
+    def test_request_backend_overrides_engine(
+        self, paper_network, paper_region
+    ):
+        engine = MACEngine(paper_network, backend="python")
+        request = MACRequest.make(
+            [2, 3, 6], 3, 9.0, paper_region, backend="flat"
+        )
+        result = engine.search(request)
+        assert result.extra["engine"]["backend"] == "flat"
+        default = engine.search(
+            MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        )
+        assert default.extra["engine"]["backend"] == "python"
+
+    def test_backend_keys_do_not_collide(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        base = dict(query=[2, 3, 6], k=3, t=9.0)
+        engine.search(MACRequest.make(**base, region=paper_region,
+                                      backend="flat"))
+        tel0 = engine.telemetry()
+        engine.search(MACRequest.make(**base, region=paper_region,
+                                      backend="python"))
+        tel1 = engine.telemetry()
+        # the python request cannot reuse flat-backend stage entries
+        assert tel1.filter.misses == tel0.filter.misses + 1
+
+    def test_invalid_backends_rejected(self, paper_network, paper_region):
+        with pytest.raises(QueryError):
+            MACEngine(paper_network, backend="fast")
+        with pytest.raises(QueryError):
+            MACRequest.make([1], 2, 5.0, paper_region, backend="numpy")
+
+
+class TestStageTelemetry:
+    def test_stage_seconds_accumulate(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        tel = engine.telemetry()
+        assert set(tel.stage_seconds) == {
+            "filter", "core", "dominance", "search",
+        }
+        assert all(v == 0.0 for v in tel.stage_seconds.values())
+        request = MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        engine.search(request)
+        tel = engine.telemetry()
+        assert tel.stage_seconds["filter"] > 0.0
+        assert tel.stage_seconds["core"] > 0.0
+        assert tel.stage_seconds["dominance"] > 0.0
+        assert tel.stage_seconds["search"] > 0.0
+        # cache hits add no build time
+        frozen = dict(tel.stage_seconds)
+        engine.search(request)
+        after = engine.telemetry().stage_seconds
+        for stage in ("filter", "core", "dominance"):
+            assert after[stage] == frozen[stage]
+
+    def test_per_request_timings(self, paper_network, paper_region):
+        engine = MACEngine(paper_network, result_cache_size=0)
+        request = MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        cold = engine.search(request).extra["engine"]["timings"]
+        assert cold["filter"] > 0.0 and cold["dominance"] > 0.0
+        warm = engine.search(request).extra["engine"]["timings"]
+        assert warm["filter"] == 0.0 and warm["dominance"] == 0.0
+        assert warm["search"] > 0.0
+
+    def test_warm_accounts_stage_time(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        engine.warm(MACRequest.make([2, 3, 6], 3, 9.0, paper_region))
+        tel = engine.telemetry()
+        assert tel.stage_seconds["filter"] > 0.0
+        assert tel.stage_seconds["search"] == 0.0
+
+    def test_explain_surfaces_stage_seconds(
+        self, paper_network, paper_region
+    ):
+        engine = MACEngine(paper_network)
+        request = MACRequest.make([2, 3, 6], 3, 9.0, paper_region)
+        engine.search(request)
+        plan = engine.explain(request)
+        assert plan.backend in ("flat", "python")
+        assert plan.stage_seconds["filter"] > 0.0
+        assert "stage seconds" in plan.summary()
+        assert "backend" in plan.summary()

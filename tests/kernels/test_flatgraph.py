@@ -1,0 +1,120 @@
+"""FlatGraph construction and id ↔ row round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import paper_road, random_graph
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.kernels import FlatGraph, core_numbers
+
+
+class TestFromAdjacency:
+    def test_round_trip_ids_and_degrees(self):
+        g = random_graph(50, 0.1, seed=3)
+        fg = FlatGraph.from_adjacency(g)
+        assert fg.n == g.num_vertices
+        assert fg.num_edges == g.num_edges
+        for v in g.vertices():
+            r = fg.row_of(v)
+            assert fg.id_of(r) == v
+            assert fg.degrees()[r] == g.degree(v)
+            nbr_ids = {fg.id_of(int(c)) for c in fg.neighbor_rows(r)}
+            assert nbr_ids == g.neighbors(v)
+
+    def test_sparse_int_ids(self):
+        g = AdjacencyGraph([(10, 700), (700, 31), (31, 10)])
+        fg = FlatGraph.from_adjacency(g)
+        assert sorted(fg.ids) == [10, 31, 700]
+        assert fg.rows_of([700, 10]) == [fg.row_of(700), fg.row_of(10)]
+        assert 10 in fg and 11 not in fg
+
+    def test_huge_id_range_uses_searchsorted(self):
+        g = AdjacencyGraph([(0, 10**12), (10**12, 5)])
+        fg = FlatGraph.from_adjacency(g)
+        assert fg.num_edges == 2
+        assert fg.degrees()[fg.row_of(10**12)] == 2
+
+    def test_non_int_vertices_fall_back(self):
+        g = AdjacencyGraph([("a", "b"), ("b", "c")])
+        fg = FlatGraph.from_adjacency(g)
+        assert fg.n == 3 and fg.num_edges == 2
+        assert fg.id_of(fg.row_of("c")) == "c"
+        assert "a" in fg and "z" not in fg
+        assert core_numbers(fg).max() == 1
+
+    def test_empty_graph(self):
+        fg = FlatGraph.from_adjacency(AdjacencyGraph())
+        assert fg.n == 0 and fg.num_edges == 0
+        assert core_numbers(fg).size == 0
+
+    def test_missing_vertex_raises(self):
+        fg = FlatGraph.from_adjacency(AdjacencyGraph([(1, 2)]))
+        with pytest.raises(GraphError):
+            fg.row_of(3)
+        with pytest.raises(GraphError):
+            fg.rows_of([1, 3])
+
+    def test_select_ids_and_relabel(self):
+        g = AdjacencyGraph([(4, 8), (8, 15)])
+        fg = FlatGraph.from_adjacency(g)
+        mask = np.asarray([fg.id_of(r) != 8 for r in range(fg.n)])
+        assert sorted(fg.select_ids(mask)) == [4, 15]
+        values = np.arange(fg.n)
+        assert fg.relabel(values) == {
+            fg.id_of(r): r for r in range(fg.n)
+        }
+
+
+class TestFromEdges:
+    def test_unweighted_dedupes(self):
+        fg = FlatGraph.from_edges([(5, 2), (2, 9), (9, 5), (2, 5)])
+        assert fg.num_edges == 3
+        assert sorted(fg.ids) == [2, 5, 9]
+
+    def test_weighted_keeps_min_duplicate(self):
+        fg = FlatGraph.from_edges([(1, 2, 3.0), (2, 3, 1.0), (2, 1, 2.0)])
+        assert fg.num_edges == 2
+        r = fg.row_of(1)
+        j = int(np.nonzero(fg.neighbor_rows(r) == fg.row_of(2))[0][0])
+        assert fg.weights[fg.indptr[r] + j] == 2.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            FlatGraph.from_edges([(1, 1)])
+
+    def test_empty(self):
+        fg = FlatGraph.from_edges([])
+        assert fg.n == 0
+
+
+class TestFromRoad:
+    def test_weights_round_trip(self, small_dataset):
+        road = small_dataset.network.road
+        fg = FlatGraph.from_road(road)
+        assert fg.n == road.num_vertices
+        assert fg.num_edges == road.num_edges
+        rng = np.random.default_rng(0)
+        verts = sorted(road.vertices())
+        for v in rng.choice(verts, size=20):
+            v = int(v)
+            r = fg.row_of(v)
+            got = {
+                fg.id_of(int(c)): float(w)
+                for c, w in zip(
+                    fg.neighbor_rows(r),
+                    fg.weights[fg.indptr[r]:fg.indptr[r + 1]],
+                )
+            }
+            assert got == road.neighbors(v)
+
+    def test_cached_and_invalidated(self):
+        road = paper_road()
+        fg1 = road.flat()
+        assert road.flat() is fg1  # cached
+        road.add_edge(1, 5, 2.0)
+        fg2 = road.flat()
+        assert fg2 is not fg1  # mutation invalidates
+        assert fg2.num_edges == fg1.num_edges + 1
