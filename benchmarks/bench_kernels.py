@@ -47,6 +47,21 @@ DATASET = "fl+yelp"
 #: Default assertion floor (acceptance: >= 3x on the prepared paths).
 MIN_SPEEDUP = 3.0
 
+#: Expected ``--quick`` speedups, committed with the results JSON as the
+#: CI perf-trajectory floors (see benchmarks/check_trajectory.py, which
+#: fails a run measuring below ``floor * (1 - tolerance)``).  Quick mode
+#: runs at scale 0.15, where the flat graph kernels sit *below* their
+#: auto-flip threshold — their honest quick floor is break-even-ish,
+#: while the dominance matrix path and the snapshot warm start stay
+#: decisively ahead at any scale.  Values are ~half the speedups
+#: measured on a dev laptop, leaving headroom for slower CI runners.
+QUICK_FLOORS = {
+    "core_decomposition": 0.5,
+    "bounded_dijkstra": 0.5,
+    "dominance_graph": 10.0,
+    "snapshot_warm_start": 1.5,
+}
+
 
 def best_of(fn, repeats: int) -> float:
     best = math.inf
@@ -166,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         "scale": scale,
         "repeats": repeats,
         "quick": args.quick,
+        "quick_floors": QUICK_FLOORS,
         "kernels": {
             "core_decomposition": bench_core(ds, repeats),
             "bounded_dijkstra": bench_dijkstra(ds, repeats),

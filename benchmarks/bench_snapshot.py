@@ -1,0 +1,139 @@
+"""Snapshot benchmark: cold index build vs snapshot load-and-query.
+
+Measures the warm-start win of ``repro.store`` on one realistic
+workload: a fresh engine answering its first query (which pays the full
+G-tree + range-filter + core + dominance build) against a fresh process
+that ``MACEngine.load``s a snapshot of that prepared state and answers
+the same query.
+
+Emits ``BENCH_snapshot.json`` with the cold/save/load/query timings and
+the ``speedup = cold / (load + query)`` ratio the CI trajectory gate
+tracks.  Always asserts the warm-start contract — the first query after
+load reports exactly zero filter/core/dominance build time — and, in
+full (non ``--quick``) runs, that load-and-query beats the cold build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import MACEngine, MACRequest, PreferenceRegion, datasets
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_snapshot.json"
+
+DATASET = "fl+yelp"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale, no cold-vs-warm assertion (CI smoke run)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--k", type=int, default=6)
+    parser.add_argument("--query-size", type=int, default=4)
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"result JSON path (default {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        0.15 if args.quick else 0.5
+    )
+
+    ds = datasets.load_dataset(DATASET, scale=scale, seed=7)
+    d = ds.network.social.dimensionality
+    t = ds.default_t * scale ** 0.5
+    region = PreferenceRegion.centered([0.9 / d] * (d - 1), 0.01)
+    query = ds.suggest_query(args.query_size, k=args.k, t=t, seed=1)
+    request = MACRequest.make(
+        query, args.k, t, region, algorithm="local"
+    )
+
+    # Cold: a fresh engine pays the G-tree build plus every pipeline
+    # stage on its first query.
+    engine = MACEngine(ds.network, use_gtree=True)
+    start = time.perf_counter()
+    cold_result = engine.search(request)
+    cold_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "snapshot"
+        start = time.perf_counter()
+        engine.save(snap)
+        save_s = time.perf_counter() - start
+        snapshot_bytes = sum(
+            f.stat().st_size for f in snap.iterdir() if f.is_file()
+        )
+
+        # Warm: a pristine network object (same content), state from disk.
+        ds2 = datasets.load_dataset(DATASET, scale=scale, seed=7)
+        start = time.perf_counter()
+        engine2 = MACEngine.load(snap, ds2.network)
+        load_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_result = engine2.search(request)
+        query_s = time.perf_counter() - start
+
+    timings = warm_result.extra["engine"]["timings"]
+    assert timings["filter"] == 0.0, "warm start rebuilt the range filter"
+    assert timings["core"] == 0.0, "warm start rebuilt the (k,t)-core"
+    assert timings["dominance"] == 0.0, "warm start rebuilt Gd"
+    stage = engine2.telemetry().stage_seconds
+    assert stage["filter"] == stage["core"] == stage["dominance"] == 0.0
+    assert (
+        [sorted(e.best.members) for e in cold_result.partitions]
+        == [sorted(e.best.members) for e in warm_result.partitions]
+    ), "warm-start answer differs from the cold build"
+
+    warm_s = load_s + query_s
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    first_query_speedup = cold_s / query_s if query_s else float("inf")
+    results = {
+        "dataset": DATASET,
+        "scale": scale,
+        "quick": args.quick,
+        "k": args.k,
+        "query_size": args.query_size,
+        "htk_vertices": cold_result.htk_vertices,
+        "cold_s": cold_s,
+        "save_s": save_s,
+        "load_s": load_s,
+        "query_s": query_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "first_query_speedup": first_query_speedup,
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+    print(f"== snapshot: {DATASET} scale={scale} |H^t_k|="
+          f"{cold_result.htk_vertices}")
+    print(f"cold build+query   {cold_s * 1e3:9.2f}ms")
+    print(f"snapshot save      {save_s * 1e3:9.2f}ms "
+          f"({snapshot_bytes} bytes)")
+    print(f"snapshot load      {load_s * 1e3:9.2f}ms")
+    print(f"warm first query   {query_s * 1e3:9.2f}ms")
+    print(f"load-and-query     {warm_s * 1e3:9.2f}ms   {speedup:.1f}x "
+          f"(first query alone: {first_query_speedup:.1f}x)")
+    print("asserted: zero filter/core/dominance build time after load")
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not args.quick:
+        assert speedup > 1.0, (
+            f"load-and-query ({warm_s:.3f}s) did not beat the cold "
+            f"build ({cold_s:.3f}s)"
+        )
+        print("asserted: load-and-query beats cold build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

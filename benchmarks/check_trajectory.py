@@ -1,0 +1,105 @@
+"""CI perf-trajectory gate: fresh quick-bench speedups vs committed floors.
+
+The committed ``BENCH_kernels.json`` carries two things: the last
+full-scale measurement of every kernel (the repo's perf trajectory) and
+a ``quick_floors`` table — the speedup each ``--quick`` CI run is
+expected to reach.  This script diffs a fresh CI run against those
+floors and fails when any measured speedup regresses more than
+``--tolerance`` (default 30%) below its floor, so a change that quietly
+destroys a kernel win or the snapshot warm start turns the build red
+instead of rotting silently.
+
+Usage (what the ``bench-trajectory`` CI job runs)::
+
+    python bench_kernels.py --quick --output /tmp/kernels.json
+    python bench_snapshot.py --quick --output /tmp/snapshot.json
+    python check_trajectory.py --kernels /tmp/kernels.json \
+        --snapshot /tmp/snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: The snapshot bench reports one ratio; this floors-table key names it.
+SNAPSHOT_KEY = "snapshot_warm_start"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE,
+        help=f"committed baseline JSON with quick_floors "
+             f"(default {BASELINE})",
+    )
+    parser.add_argument(
+        "--kernels", type=Path, required=True,
+        help="fresh bench_kernels.py --quick output",
+    )
+    parser.add_argument(
+        "--snapshot", type=Path, default=None,
+        help="fresh bench_snapshot.py --quick output (optional)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fraction below the floor before failing "
+             "(default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    floors = baseline.get("quick_floors")
+    if not floors:
+        print(f"error: {args.baseline} has no quick_floors table",
+              file=sys.stderr)
+        return 2
+    fresh = json.loads(args.kernels.read_text())
+    measured: dict[str, float] = {
+        name: entry["speedup"]
+        for name, entry in fresh.get("kernels", {}).items()
+    }
+    if args.snapshot is not None:
+        snap = json.loads(args.snapshot.read_text())
+        measured[SNAPSHOT_KEY] = snap["speedup"]
+
+    failures = []
+    print(f"== perf trajectory vs {args.baseline.name} "
+          f"(tolerance {args.tolerance:.0%})")
+    for name, floor in sorted(floors.items()):
+        if name not in measured:
+            if name == SNAPSHOT_KEY and args.snapshot is None:
+                print(f"{name:24s} floor {floor:6.2f}x   skipped "
+                      f"(no --snapshot)")
+                continue
+            failures.append(f"{name}: no measurement in the fresh run")
+            print(f"{name:24s} floor {floor:6.2f}x   MISSING")
+            continue
+        value = measured[name]
+        limit = floor * (1.0 - args.tolerance)
+        ok = value >= limit
+        print(f"{name:24s} floor {floor:6.2f}x   measured {value:6.2f}x   "
+              f"{'ok' if ok else f'REGRESSION (limit {limit:.2f}x)'}")
+        if not ok:
+            failures.append(
+                f"{name}: measured {value:.2f}x is below "
+                f"{limit:.2f}x (floor {floor:.2f}x - {args.tolerance:.0%})"
+            )
+    for name in sorted(set(measured) - set(floors)):
+        print(f"{name:24s} (no floor)   measured {measured[name]:6.2f}x")
+
+    if failures:
+        print("\nperf trajectory regressed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ from repro.errors import (
     GraphError,
     QueryError,
     ReproError,
+    SnapshotError,
 )
 from repro.geometry.preference_learning import LearnedRegion
 from repro.geometry.region import PreferenceRegion
@@ -56,7 +57,7 @@ from repro.road.network import RoadNetwork, SpatialPoint
 from repro.social.network import SocialNetwork
 from repro.social.roadsocial import RoadSocialNetwork
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MACEngine",
@@ -86,5 +87,6 @@ __all__ = [
     "QueryError",
     "GeometryError",
     "DatasetError",
+    "SnapshotError",
     "__version__",
 ]

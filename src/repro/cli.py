@@ -10,6 +10,11 @@ Commands
               :class:`~repro.engine.MACEngine` (see ENGINE.md for the
               line format), optionally in parallel.
 ``case``    — the Aminer-style case study with author names.
+``index``   — persistent index snapshots: ``index build`` constructs
+              and saves the prepared engine state (G-tree, CSR views,
+              optionally JSONL-warmed stage caches), ``index info``
+              prints a snapshot's manifest, ``index verify`` checks its
+              integrity (and, with ``--dataset``, its fingerprint).
 """
 
 from __future__ import annotations
@@ -23,11 +28,23 @@ import numpy as np
 from repro import MACEngine, MACRequest, PreferenceRegion, datasets
 from repro.datasets.registry import DATASET_NAMES
 from repro.errors import QueryError, ReproError
+from repro.kernels.backend import BACKENDS
+from repro.store.snapshot import snapshot_info, verify_snapshot
 
 
-def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+def _add_dataset_args(
+    parser: argparse.ArgumentParser,
+    dataset_default: str | None = "sf+slashdot",
+) -> None:
+    # One definition of the dataset defaults for every subcommand:
+    # `index verify` must regenerate exactly what `index build` built,
+    # so their --scale/--seed defaults cannot drift apart.
     parser.add_argument(
-        "--dataset", default="sf+slashdot", choices=DATASET_NAMES
+        "--dataset", default=dataset_default, choices=DATASET_NAMES,
+        **(
+            {"help": "regenerate this dataset and verify the fingerprint"}
+            if dataset_default is None else {}
+        ),
     )
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=7)
@@ -182,22 +199,25 @@ def _batch_request(
         raise QueryError(f"line {line_no}: {exc}") from exc
 
 
-def cmd_batch(args: argparse.Namespace) -> int:
-    ds = datasets.load_dataset(
-        args.dataset, scale=args.scale, seed=args.seed,
-        dimensions=args.dimensions,
-    )
-    if args.requests == "-":
+def _read_requests_file(
+    path: str, ds, args: argparse.Namespace
+) -> list[MACRequest] | None:
+    """Read a JSONL request file (``-`` = stdin) into validated requests.
+
+    Shared by the ``batch`` command and ``index build --warm``.  On any
+    malformed line, prints an error to stderr and returns ``None`` (the
+    caller exits 2).
+    """
+    if path == "-":
         lines = sys.stdin.read().splitlines()
     else:
         try:
-            with open(args.requests) as f:
+            with open(path) as f:
                 lines = f.read().splitlines()
         except OSError as exc:
-            print(f"error: cannot read {args.requests}: {exc}",
-                  file=sys.stderr)
-            return 2
-    requests = []
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return None
+    requests: list[MACRequest] = []
     for line_no, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -207,12 +227,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
         except json.JSONDecodeError as exc:
             print(f"error: line {line_no}: invalid JSON: {exc}",
                   file=sys.stderr)
-            return 2
+            return None
         try:
             requests.append(_batch_request(obj, ds, args, line_no))
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return None
         except (KeyError, TypeError, ValueError) as exc:
             # malformed field values (wrong JSON types, bad shapes)
             print(
@@ -220,9 +240,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 f"{type(exc).__name__}: {exc}",
                 file=sys.stderr,
             )
-            return 2
+            return None
     if not requests:
         print("error: no requests in input", file=sys.stderr)
+        return None
+    return requests
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    ds = datasets.load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        dimensions=args.dimensions,
+    )
+    requests = _read_requests_file(args.requests, ds, args)
+    if requests is None:
         return 2
 
     engine = MACEngine(ds.network)
@@ -283,9 +314,106 @@ def cmd_case(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index_build(args: argparse.Namespace) -> int:
+    ds = datasets.load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        dimensions=args.dimensions,
+    )
+    # Validate the warm file before paying the eager G-tree build, so a
+    # malformed JSONL fails in milliseconds, not minutes.
+    requests: list[MACRequest] = []
+    if args.warm is not None:
+        read = _read_requests_file(args.warm, ds, args)
+        if read is None:
+            return 2
+        requests = read
+    engine = MACEngine(
+        ds.network,
+        use_gtree=not args.no_gtree,
+        backend=args.backend,
+        gtree_leaf_size=args.leaf_size,
+        eager=True,
+    )
+    warmed = 0
+    for request in requests:
+        engine.warm(request)
+        warmed += 1
+    manifest = engine.save(args.out)
+    comp = manifest["components"]
+    size = sum(snapshot_info(args.out)["files"].values())
+    print(f"snapshot written to {args.out}")
+    print(f"  dataset      {args.dataset} scale={args.scale} "
+          f"seed={args.seed} d={args.dimensions}")
+    print(f"  fingerprint  {manifest['fingerprint']}")
+    print(f"  backend      {manifest['backend']}")
+    print(f"  g-tree       "
+          + (f"{comp['gtree']['nodes']} nodes "
+             f"({comp['gtree']['leaves']} leaves, "
+             f"backend {comp['gtree']['backend']})"
+             if "gtree" in comp else "absent"))
+    print(f"  road CSR     "
+          + ("present" if "road_flat" in comp else "absent"))
+    print(f"  stage caches "
+          f"filter={len(comp['filter'])} core={len(comp['core'])} "
+          f"dominance={len(comp['dominance'])} "
+          f"(from {warmed} warmed request(s))")
+    print(f"  size         {size} bytes")
+    return 0
+
+
+def cmd_index_info(args: argparse.Namespace) -> int:
+    info = snapshot_info(args.path)
+    manifest = info["manifest"]
+    comp = manifest["components"]
+    net = manifest.get("network", {})
+    print(f"snapshot {info['path']}")
+    print(f"  format       {manifest['format']} "
+          f"v{manifest['format_version']} "
+          f"(repro {manifest.get('repro_version', '?')})")
+    print(f"  fingerprint  {manifest['fingerprint']}")
+    print(f"  backend      {manifest.get('backend', '?')}")
+    print(f"  network      road |V|={net.get('road_vertices', '?')} "
+          f"|E|={net.get('road_edges', '?')}, "
+          f"social |V|={net.get('social_users', '?')} "
+          f"|E|={net.get('social_edges', '?')}, "
+          f"d={net.get('dimensions', '?')}")
+    print(f"  g-tree       "
+          + (f"{comp['gtree']['nodes']} nodes "
+             f"({comp['gtree']['leaves']} leaves)"
+             if "gtree" in comp else "absent"))
+    print(f"  road CSR     "
+          + ("present" if "road_flat" in comp else "absent"))
+    counts = info["entry_counts"]
+    print(f"  stage caches filter={counts['filter']} "
+          f"core={counts['core']} dominance={counts['dominance']}")
+    for name, size in info["files"].items():
+        print(f"  {name:12s} {size} bytes")
+    return 0
+
+
+def cmd_index_verify(args: argparse.Namespace) -> int:
+    network = None
+    if args.dataset is not None:
+        network = datasets.load_dataset(
+            args.dataset, scale=args.scale, seed=args.seed,
+            dimensions=args.dimensions,
+        ).network
+    info = verify_snapshot(args.path, network=network)
+    print(f"snapshot ok: {info['arrays_checked']} array(s) verified, "
+          f"fingerprint "
+          + ("verified against --dataset" if info["fingerprint_checked"]
+             else "not checked (pass --dataset to check)"))
+    return 0
+
+
+#: Attribute dimensionality shared by every dataset-loading subcommand
+#: (declared once so `index verify` regenerates what `index build` saw).
+DEFAULT_DIMENSIONS = 3
+
+
 def _add_query_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sigma", type=float, default=0.01)
-    parser.add_argument("--dimensions", type=int, default=3)
+    parser.add_argument("--dimensions", type=int, default=DEFAULT_DIMENSIONS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,6 +462,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool width for independent requests (default 4)",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_index = sub.add_parser(
+        "index", help="build / inspect / verify persistent index snapshots"
+    )
+    isub = p_index.add_subparsers(dest="index_command", required=True)
+
+    p_build = isub.add_parser(
+        "build", help="build prepared indexes and save them as a snapshot"
+    )
+    _add_dataset_args(p_build)
+    _add_query_args(p_build)
+    p_build.add_argument(
+        "--out", required=True, help="snapshot output directory"
+    )
+    p_build.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="engine compute backend recorded in the snapshot",
+    )
+    p_build.add_argument(
+        "--leaf-size", type=int, default=64,
+        help="G-tree leaf size (default 64)",
+    )
+    p_build.add_argument(
+        "--no-gtree", action="store_true",
+        help="skip the G-tree build (snapshot stage caches only)",
+    )
+    p_build.add_argument(
+        "--warm", default=None, metavar="JSONL",
+        help="JSONL request file (batch format) whose filter/core/"
+             "dominance stages are pre-built into the snapshot",
+    )
+    p_build.set_defaults(func=cmd_index_build)
+
+    p_info = isub.add_parser(
+        "info", help="print a snapshot's manifest summary"
+    )
+    p_info.add_argument("path", help="snapshot directory")
+    p_info.set_defaults(func=cmd_index_info)
+
+    p_verify = isub.add_parser(
+        "verify",
+        help="check a snapshot's integrity (all arrays readable, "
+             "format version supported; with --dataset, fingerprint too)",
+    )
+    p_verify.add_argument("path", help="snapshot directory")
+    _add_dataset_args(p_verify, dataset_default=None)
+    p_verify.add_argument(
+        "--dimensions", type=int, default=DEFAULT_DIMENSIONS
+    )
+    p_verify.set_defaults(func=cmd_index_verify)
 
     p_case = sub.add_parser("case", help="Aminer-style case study")
     p_case.add_argument("--k", type=int, default=5)

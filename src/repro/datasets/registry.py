@@ -75,6 +75,20 @@ class LoadedDataset:
     default_t: float
     extra: dict = field(default_factory=dict)
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the generated network (snapshot identity).
+
+        Index snapshots (:mod:`repro.store`) record this digest and
+        refuse to load against a network whose fingerprint differs —
+        the guard that makes CI index caching and cross-process
+        warm-starts safe.  Identical ``(name, scale, dimensions,
+        attribute_kind, seed)`` parameters regenerate identical networks
+        and therefore identical fingerprints.
+        """
+        from repro.store.fingerprint import network_fingerprint
+
+        return network_fingerprint(self.network)
+
     def suggest_query(
         self,
         size: int,

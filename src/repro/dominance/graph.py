@@ -57,6 +57,16 @@ class DominanceGraph:
         use_rtree: bool = True,
         backend: str = "auto",
     ) -> None:
+        self._init_base(attributes, region, backend)
+        self._build(use_rtree)
+
+    def _init_base(
+        self,
+        attributes: Mapping[Vertex, np.ndarray],
+        region: PreferenceRegion,
+        backend: str,
+    ) -> None:
+        """Validate inputs and compute corner scores (no DAG yet)."""
         if not attributes:
             raise GeometryError("dominance graph needs at least one vertex")
         if backend not in BACKENDS:
@@ -102,7 +112,40 @@ class DominanceGraph:
         self.roots: list[Vertex] = []
         self._layer: dict[Vertex, int] = {}
         self._halfspace_cache: dict[tuple[Vertex, Vertex], Halfspace] = {}
-        self._build(use_rtree)
+
+    @classmethod
+    def from_hasse(
+        cls,
+        attributes: Mapping[Vertex, np.ndarray],
+        region: PreferenceRegion,
+        order: Sequence[Vertex],
+        parents: Mapping[Vertex, Sequence[Vertex]],
+        backend: str = "auto",
+    ) -> DominanceGraph:
+        """Rebuild a Gd from a previously computed Hasse DAG.
+
+        The snapshot restore path: skips the BBS stream and all
+        dominator detection — only the (cheap) corner-score matrix is
+        recomputed and the recorded insertion order replayed.  ``order``
+        must be a permutation of the attribute keys and ``parents`` must
+        reference already-inserted vertices (both hold for any DAG
+        produced by the normal constructor).
+        """
+        self = cls.__new__(cls)
+        self._init_base(attributes, region, backend)
+        if sorted(order) != self._ids:
+            raise GraphError(
+                "Hasse order is not a permutation of the attribute keys"
+            )
+        for v in order:
+            pars = list(parents.get(v, ()))
+            if any(p not in self._layer for p in pars):
+                raise GraphError(
+                    f"Hasse parent of {v!r} is not inserted before it "
+                    f"in the order"
+                )
+            self._attach(v, pars)
+        return self
 
     # ------------------------------------------------------------------
     # construction

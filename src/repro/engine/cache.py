@@ -99,6 +99,24 @@ class LRUCache:
             return value, False
 
     # ------------------------------------------------------------------
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Snapshot of ``(key, value)`` pairs, oldest first (no counters).
+
+        The save path of :mod:`repro.store` iterates this to persist
+        prepared entries; LRU order and hit/miss accounting are
+        untouched.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert an entry directly (snapshot restore; no miss counted)."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
     def peek(self, key: Hashable) -> tuple[Any, bool]:
         """``(value, present)`` without touching LRU order or counters."""
         with self._lock:

@@ -267,6 +267,37 @@ class MACEngine:
         if self._resolve_backend_selector(self._default_backend) == "flat":
             self.network.road.flat()
 
+    def save(self, path) -> dict:
+        """Persist the prepared state as an index snapshot at ``path``.
+
+        Serializes everything expensive the engine has built so far —
+        the shared G-tree, the road CSR view, and every live entry of
+        the filter/core/dominance stage caches — plus a manifest with
+        the format version, a content fingerprint of the network, and
+        the engine configuration.  Returns the manifest dict.  See
+        :mod:`repro.store` for the format and guarantees.
+        """
+        from repro.store.snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path, network: RoadSocialNetwork, **overrides) -> MACEngine:
+        """Warm-start an engine from a snapshot written by :meth:`save`.
+
+        ``network`` must be content-identical to the snapshotted one
+        (fingerprint-checked; :class:`~repro.errors.SnapshotError` on
+        mismatch, corruption, or format-version skew).  The restored
+        engine serves its first query on snapshotted state with zero
+        index builds — ``telemetry().stage_seconds`` stays 0.0 for the
+        filter/core/dominance stages until a genuinely new key arrives.
+        ``overrides`` are :class:`MACEngine` constructor keywords that
+        win over the recorded configuration.
+        """
+        from repro.store.snapshot import load_snapshot
+
+        return load_snapshot(path, network, **overrides)
+
     def clear_caches(self) -> None:
         """Drop all cached query state (keeps the network's G-tree)."""
         self._filter_cache.clear()

@@ -24,3 +24,7 @@ class GeometryError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset generator received inconsistent parameters."""
+
+
+class SnapshotError(ReproError):
+    """An index snapshot is missing, corrupted, stale, or incompatible."""

@@ -197,6 +197,49 @@ class FlatGraph:
         return fg
 
     # ------------------------------------------------------------------
+    # snapshot round-trip (repro.store)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """CSR arrays + id map as plain numpy arrays (snapshot payload).
+
+        Only int-keyed graphs serialize (the library's road and social
+        substrates); arbitrary hashable ids have no array representation.
+        """
+        ids = np.asarray(self.ids)
+        if ids.dtype.kind not in "iu":
+            raise GraphError(
+                "only int-keyed FlatGraphs can be serialized to arrays"
+            )
+        out = {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "ids": ids.astype(np.int64, copy=False),
+        }
+        if self.weights is not None:
+            out["weights"] = self.weights
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        ids: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> FlatGraph:
+        """Rebuild a FlatGraph from :meth:`to_arrays` output (no copies)."""
+        ids_arr = np.asarray(ids, np.int64)
+        fg = cls(
+            np.asarray(indptr, np.int64),
+            np.asarray(indices, np.int64),
+            ids_arr.tolist(),
+            None if weights is None else np.asarray(weights, np.float64),
+        )
+        if ids_arr.size == 0 or bool(np.all(np.diff(ids_arr) > 0)):
+            fg._ids_arr = ids_arr  # sorted ids: keep the bisection path
+        return fg
+
+    # ------------------------------------------------------------------
     # id ↔ row mapping
     # ------------------------------------------------------------------
     @property

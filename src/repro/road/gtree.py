@@ -309,11 +309,119 @@ class GTree:
             }
 
     # ------------------------------------------------------------------
+    # snapshot round-trip (repro.store)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, np.ndarray]:
+        """The full node hierarchy + distance matrices as flat arrays.
+
+        Ragged structures (per-node vertex sets, border lists, matrix
+        rows) serialize as ``*_ptr`` offset arrays over concatenated
+        payload arrays — the natural ``.npz`` shape.  ``from_state``
+        reconstructs an equivalent index without re-running any
+        Dijkstra/min-plus build.
+        """
+        nodes = self._nodes
+        parent = np.asarray(
+            [-1 if n.parent is None else n.parent for n in nodes], np.int64
+        )
+        is_leaf = np.asarray([n.is_leaf for n in nodes], bool)
+        vert_ptr = np.zeros(len(nodes) + 1, np.int64)
+        border_ptr = np.zeros(len(nodes) + 1, np.int64)
+        mat_ptr = np.zeros(len(nodes) + 1, np.int64)
+        vert_flat: list[int] = []
+        border_flat: list[int] = []
+        mat_src: list[int] = []
+        mat_dst: list[int] = []
+        mat_w: list[float] = []
+        for i, node in enumerate(nodes):
+            vert_flat.extend(sorted(node.vertices))
+            border_flat.extend(node.borders)
+            for b, row in node.matrix.items():
+                for v, d in row.items():
+                    mat_src.append(b)
+                    mat_dst.append(v)
+                    mat_w.append(d)
+            vert_ptr[i + 1] = len(vert_flat)
+            border_ptr[i + 1] = len(border_flat)
+            mat_ptr[i + 1] = len(mat_src)
+        return {
+            "parent": parent,
+            "is_leaf": is_leaf,
+            "vert_ptr": vert_ptr,
+            "vert_flat": np.asarray(vert_flat, np.int64),
+            "border_ptr": border_ptr,
+            "border_flat": np.asarray(border_flat, np.int64),
+            "mat_ptr": mat_ptr,
+            "mat_src": np.asarray(mat_src, np.int64),
+            "mat_dst": np.asarray(mat_dst, np.int64),
+            "mat_w": np.asarray(mat_w, np.float64),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        road: RoadNetwork,
+        state: dict,
+        leaf_size: int,
+        backend: str,
+    ) -> GTree:
+        """Rebuild an index from :meth:`to_state` arrays (no matrix builds).
+
+        ``backend`` must be the *resolved* selector recorded at save time
+        (it only governs how post-load queries run their local leaf
+        Dijkstras, not the restored matrices).
+        """
+        self = cls.__new__(cls)
+        self._road = road
+        self._leaf_size = leaf_size
+        self.backend = backend
+        self._flat = road.flat() if backend == "flat" else None
+        parent = state["parent"].tolist()
+        is_leaf = state["is_leaf"].tolist()
+        vert_ptr = state["vert_ptr"].tolist()
+        vert_flat = state["vert_flat"].tolist()
+        border_ptr = state["border_ptr"].tolist()
+        border_flat = state["border_flat"].tolist()
+        mat_ptr = state["mat_ptr"].tolist()
+        mat_src = state["mat_src"].tolist()
+        mat_dst = state["mat_dst"].tolist()
+        mat_w = state["mat_w"].tolist()
+        self._nodes = []
+        self._leaf_of = {}
+        self._border_nodes = {}
+        for i in range(len(parent)):
+            node = _Node(i, set(vert_flat[vert_ptr[i]:vert_ptr[i + 1]]))
+            node.parent = None if parent[i] < 0 else parent[i]
+            node.is_leaf = bool(is_leaf[i])
+            node.borders = border_flat[border_ptr[i]:border_ptr[i + 1]]
+            for pos in range(mat_ptr[i], mat_ptr[i + 1]):
+                node.matrix.setdefault(mat_src[pos], {})[mat_dst[pos]] = (
+                    mat_w[pos]
+                )
+            self._nodes.append(node)
+            if node.is_leaf:
+                for v in node.vertices:
+                    self._leaf_of[v] = i
+        for node in self._nodes:
+            if node.parent is not None:
+                # Children were created in index order, so appending by
+                # index reproduces the original child ordering.
+                self._nodes[node.parent].children.append(node.index)
+            if not node.is_leaf:
+                for b in node.matrix:
+                    self._border_nodes.setdefault(b, []).append(node.index)
+        return self
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         return len(self._nodes)
+
+    @property
+    def leaf_size(self) -> int:
+        return self._leaf_size
 
     @property
     def num_leaves(self) -> int:

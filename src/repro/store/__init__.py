@@ -1,0 +1,39 @@
+"""Persistent index snapshots: durable, versioned prepared-engine state.
+
+The store turns the engine's in-memory indexes — the G-tree hierarchy
+and distance matrices, road/social CSR views, per-(Q, t) coreness
+arrays, and r-dominance DAGs — into an on-disk artifact
+(``manifest.json`` + ``arrays.npz``) that a fresh process loads in
+milliseconds instead of rebuilding in seconds:
+
+    engine.search(request)                      # builds + caches
+    engine.save("idx/")                         # persist prepared state
+
+    engine = MACEngine.load("idx/", network)    # new process, warm start
+    engine.search(request)                      # zero index builds
+
+Snapshots are validated on load: format version, archive integrity, and
+a content fingerprint of the target network all have to match, else
+:class:`~repro.errors.SnapshotError` is raised.  See ENGINE.md ("Index
+snapshots & warm start") and ``python -m repro.cli index --help``.
+"""
+
+from repro.store.fingerprint import network_fingerprint
+from repro.store.snapshot import (
+    FORMAT_VERSION,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+    snapshot_info,
+    verify_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_snapshot",
+    "network_fingerprint",
+    "read_manifest",
+    "save_snapshot",
+    "snapshot_info",
+    "verify_snapshot",
+]

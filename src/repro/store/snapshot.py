@@ -1,0 +1,579 @@
+"""Versioned on-disk snapshots of prepared MAC-engine state.
+
+The paper's index machinery is pay-once-query-many: the G-tree, the CSR
+views, the per-(Q, t) coreness arrays, and the r-dominance DAGs are all
+expensive to build and cheap to use.  :class:`~repro.engine.MACEngine`
+amortizes them in memory; this module makes them durable, so a fresh
+process warm-starts from disk instead of rebuilding — the first query
+after :func:`load_snapshot` performs zero index builds.
+
+Format (one snapshot = one directory)::
+
+    <snapshot>/
+      manifest.json   format version, dataset fingerprint, backend,
+                      engine configuration, per-entry keys + metadata
+      arrays.npz      every numeric payload, keyed ``<component>.<field>``
+
+The manifest is the source of truth for *what* is in the snapshot; the
+``.npz`` holds only arrays.  Loads are strict: a missing file, corrupted
+archive, unknown format version, or fingerprint mismatch against the
+supplied network raises :class:`~repro.errors.SnapshotError` — a stale
+snapshot must never silently answer for a different network.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import __version__ as _repro_version
+from repro.dominance.graph import DominanceGraph
+from repro.errors import SnapshotError
+from repro.geometry.region import PreferenceRegion
+from repro.graph.adjacency import AdjacencyGraph
+from repro.kernels.flatgraph import FlatGraph
+from repro.road.gtree import GTree
+from repro.social.roadsocial import KTCore, RoadSocialNetwork
+from repro.store.fingerprint import network_fingerprint
+
+#: Bump on any incompatible change to the manifest or array layout.
+FORMAT_VERSION = 1
+
+FORMAT_NAME = "repro-index-snapshot"
+
+MANIFEST_FILE = "manifest.json"
+ARRAYS_FILE = "arrays.npz"
+
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    OSError,
+    ValueError,
+    EOFError,
+)
+
+
+# ----------------------------------------------------------------------
+# small codecs
+# ----------------------------------------------------------------------
+def _graph_arrays(graph: AdjacencyGraph) -> tuple[np.ndarray, np.ndarray]:
+    """An AdjacencyGraph as (sorted vertex ids, (m, 2) edge array)."""
+    verts = np.asarray(sorted(graph.vertices()), np.int64)
+    edges = np.asarray(
+        sorted((u, v) if u <= v else (v, u) for u, v in graph.edges()),
+        np.int64,
+    ).reshape(-1, 2)
+    return verts, edges
+
+
+def _graph_from_arrays(
+    verts: np.ndarray, edges: np.ndarray
+) -> AdjacencyGraph:
+    graph = AdjacencyGraph()
+    for v in verts.tolist():
+        graph.add_vertex(v)
+    for u, v in edges.tolist():
+        graph.add_edge(u, v)
+    return graph
+
+
+def _filter_key_json(key: tuple) -> dict:
+    query, t, backend = key
+    return {"query": list(query), "t": t, "backend": backend}
+
+
+def _filter_key_from_json(entry: dict) -> tuple:
+    return (
+        tuple(int(v) for v in entry["query"]),
+        float(entry["t"]),
+        str(entry["backend"]),
+    )
+
+
+def _core_key_json(key: tuple) -> dict:
+    query, k, t, backend = key
+    return {"query": list(query), "k": k, "t": t, "backend": backend}
+
+
+def _core_key_from_json(entry: dict) -> tuple:
+    return (
+        tuple(int(v) for v in entry["query"]),
+        int(entry["k"]),
+        float(entry["t"]),
+        str(entry["backend"]),
+    )
+
+
+def _dominance_key_json(key: tuple) -> dict:
+    query, k, t, region, backend = key
+    return {
+        "query": list(query),
+        "k": k,
+        "t": t,
+        "region": [list(region[0]), list(region[1])],
+        "backend": backend,
+    }
+
+
+def _dominance_key_from_json(entry: dict) -> tuple:
+    lows, highs = entry["region"]
+    return (
+        tuple(int(v) for v in entry["query"]),
+        int(entry["k"]),
+        float(entry["t"]),
+        (
+            tuple(float(x) for x in lows),
+            tuple(float(x) for x in highs),
+        ),
+        str(entry["backend"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_snapshot(engine, path) -> dict:
+    """Serialize an engine's prepared state under directory ``path``.
+
+    Crash-safe in both directions: any existing manifest is removed
+    first (instantly invalidating the old snapshot), both files are
+    written to temporary names and renamed into place, and the manifest
+    lands last — so a crash mid-save leaves a snapshot that fails to
+    load (no manifest), never one pairing an old manifest with new
+    arrays.  Returns the manifest dict.
+    """
+    network: RoadSocialNetwork = engine.network
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise SnapshotError(f"snapshot path {path} exists and is not a directory")
+    path.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    components: dict[str, Any] = {}
+
+    road_flat = network.road._flat
+    if road_flat is not None:
+        for name, arr in road_flat.to_arrays().items():
+            arrays[f"road_flat.{name}"] = arr
+        components["road_flat"] = {
+            "vertices": road_flat.n,
+            "edges": road_flat.num_edges,
+            "weighted": road_flat.weights is not None,
+        }
+
+    if network.has_gtree:
+        gtree = network.gtree
+        for name, arr in gtree.to_state().items():
+            arrays[f"gtree.{name}"] = arr
+        components["gtree"] = {
+            "leaf_size": gtree.leaf_size,
+            "backend": gtree.backend,
+            "nodes": gtree.num_nodes,
+            "leaves": gtree.num_leaves,
+        }
+
+    filter_entries = []
+    for i, (key, prep) in enumerate(engine._filter_cache.items()):
+        ids = sorted(prep.query_distance)
+        arrays[f"filter.{i}.ids"] = np.asarray(ids, np.int64)
+        arrays[f"filter.{i}.dist"] = np.asarray(
+            [prep.query_distance[v] for v in ids], np.float64
+        )
+        arrays[f"filter.{i}.coreness"] = np.asarray(
+            [prep.coreness[v] for v in ids], np.int64
+        )
+        _verts, edges = _graph_arrays(prep.filtered)
+        arrays[f"filter.{i}.edges"] = edges
+        entry = _filter_key_json(key)
+        entry["vertices"] = len(ids)
+        entry["has_flat"] = prep.flat is not None
+        if prep.flat is not None:
+            flat = prep.flat.to_arrays()
+            arrays[f"filter.{i}.flat_indptr"] = flat["indptr"]
+            arrays[f"filter.{i}.flat_indices"] = flat["indices"]
+        filter_entries.append(entry)
+    components["filter"] = filter_entries
+
+    core_entries = []
+    for i, (key, state) in enumerate(engine._core_cache.items()):
+        entry = _core_key_json(key)
+        entry["feasible"] = state.core is not None
+        if state.core is not None:
+            verts, edges = _graph_arrays(state.core.graph)
+            arrays[f"core.{i}.vertices"] = verts
+            arrays[f"core.{i}.edges"] = edges
+            arrays[f"core.{i}.dist"] = np.asarray(
+                [state.core.query_distance[v] for v in verts.tolist()],
+                np.float64,
+            )
+            entry["vertices"] = int(verts.size)
+        core_entries.append(entry)
+    components["core"] = core_entries
+
+    dominance_entries = []
+    for i, (key, gd) in enumerate(engine._gd_cache.items()):
+        order = gd.order
+        pos = {v: j for j, v in enumerate(order)}
+        parent_ptr = np.zeros(len(order) + 1, np.int64)
+        parent_flat: list[int] = []
+        for j, v in enumerate(order):
+            parent_flat.extend(pos[p] for p in gd.parents[v])
+            parent_ptr[j + 1] = len(parent_flat)
+        arrays[f"dominance.{i}.order"] = np.asarray(order, np.int64)
+        arrays[f"dominance.{i}.parent_ptr"] = parent_ptr
+        arrays[f"dominance.{i}.parent_flat"] = np.asarray(
+            parent_flat, np.int64
+        )
+        entry = _dominance_key_json(key)
+        entry["vertices"] = gd.num_vertices
+        entry["arcs"] = gd.num_arcs()
+        entry["dg_backend"] = gd.backend
+        dominance_entries.append(entry)
+    components["dominance"] = dominance_entries
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "repro_version": _repro_version,
+        "numpy_version": np.__version__,
+        "fingerprint": network_fingerprint(network),
+        "backend": engine._default_backend,
+        "engine": {
+            "default_use_gtree": engine._default_use_gtree,
+            "default_backend": engine._default_backend,
+            "gtree_leaf_size": engine.gtree_leaf_size,
+            "auto_local_threshold": engine.auto_local_threshold,
+            "filter_cache_size": engine._filter_cache.capacity,
+            "core_cache_size": engine._core_cache.capacity,
+            "dominance_cache_size": engine._gd_cache.capacity,
+            "result_cache_size": (
+                engine._result_cache.capacity
+                if engine._result_cache is not None
+                else 0
+            ),
+        },
+        "network": {
+            "road_vertices": network.road.num_vertices,
+            "road_edges": network.road.num_edges,
+            "social_users": network.social.num_users,
+            "social_edges": network.social.num_edges,
+            "dimensions": network.social.dimensionality,
+        },
+        "components": components,
+    }
+
+    manifest_path = path / MANIFEST_FILE
+    manifest_path.unlink(missing_ok=True)
+    # The tmp name must keep the .npz suffix (savez appends it otherwise).
+    arrays_tmp = path / ("tmp-" + ARRAYS_FILE)
+    np.savez_compressed(arrays_tmp, **arrays)
+    arrays_tmp.replace(path / ARRAYS_FILE)
+    manifest_tmp = path / (MANIFEST_FILE + ".tmp")
+    manifest_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    manifest_tmp.replace(manifest_path)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# read-side helpers
+# ----------------------------------------------------------------------
+def read_manifest(path) -> dict:
+    """Parse and structurally validate a snapshot manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not path.is_dir() or not manifest_path.is_file():
+        raise SnapshotError(
+            f"{path} is not an index snapshot (no {MANIFEST_FILE})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(
+            f"unreadable snapshot manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise SnapshotError(
+            f"{manifest_path} is not a {FORMAT_NAME} manifest"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version!r} is not supported "
+            f"(this build reads version {FORMAT_VERSION}); rebuild the "
+            f"snapshot with `python -m repro.cli index build`"
+        )
+    if "components" not in manifest or "fingerprint" not in manifest:
+        raise SnapshotError(f"snapshot manifest {manifest_path} is incomplete")
+    return manifest
+
+
+def _open_arrays(path: Path):
+    arrays_path = path / ARRAYS_FILE
+    if not arrays_path.is_file():
+        raise SnapshotError(f"snapshot is missing {arrays_path}")
+    try:
+        return np.load(arrays_path)
+    except _CORRUPTION_ERRORS as exc:
+        raise SnapshotError(
+            f"corrupted snapshot archive {arrays_path}: {exc}"
+        ) from exc
+
+
+def _get(npz, key: str) -> np.ndarray:
+    try:
+        return npz[key]
+    except KeyError:
+        raise SnapshotError(
+            f"snapshot archive is missing array {key!r}"
+        ) from None
+    except _CORRUPTION_ERRORS as exc:
+        raise SnapshotError(
+            f"corrupted snapshot array {key!r}: {exc}"
+        ) from exc
+
+
+def _expected_keys(manifest: dict) -> list[str]:
+    """Every array key the manifest promises the archive contains."""
+    comp = manifest["components"]
+    keys: list[str] = []
+    if "road_flat" in comp:
+        keys += ["road_flat.indptr", "road_flat.indices", "road_flat.ids"]
+        if comp["road_flat"].get("weighted"):
+            keys.append("road_flat.weights")
+    if "gtree" in comp:
+        keys += [
+            f"gtree.{name}"
+            for name in (
+                "parent", "is_leaf", "vert_ptr", "vert_flat",
+                "border_ptr", "border_flat", "mat_ptr", "mat_src",
+                "mat_dst", "mat_w",
+            )
+        ]
+    for i, entry in enumerate(comp.get("filter", [])):
+        keys += [
+            f"filter.{i}.ids", f"filter.{i}.dist",
+            f"filter.{i}.coreness", f"filter.{i}.edges",
+        ]
+        if entry.get("has_flat"):
+            keys += [f"filter.{i}.flat_indptr", f"filter.{i}.flat_indices"]
+    for i, entry in enumerate(comp.get("core", [])):
+        if entry.get("feasible"):
+            keys += [
+                f"core.{i}.vertices", f"core.{i}.edges", f"core.{i}.dist",
+            ]
+    for i in range(len(comp.get("dominance", []))):
+        keys += [
+            f"dominance.{i}.order", f"dominance.{i}.parent_ptr",
+            f"dominance.{i}.parent_flat",
+        ]
+    return keys
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def load_snapshot(path, network: RoadSocialNetwork, **overrides):
+    """Reconstruct a warm :class:`~repro.engine.MACEngine` from ``path``.
+
+    ``network`` must be content-identical to the network the snapshot
+    was built from (checked via :func:`network_fingerprint`; mismatch
+    raises :class:`SnapshotError`).  Engine construction knobs are
+    restored from the manifest; ``overrides`` (any ``MACEngine``
+    keyword) win over the recorded values.
+
+    After the restore every snapshotted pipeline stage is a cache hit:
+    the first query builds no filter, core, or dominance state, which
+    ``telemetry().stage_seconds`` and the per-result ``timings`` report
+    as exact zeros.
+    """
+    from repro.engine.engine import (
+        MACEngine,
+        _PreparedCore,
+        _PreparedFilter,
+    )
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    fingerprint = network_fingerprint(network)
+    if fingerprint != manifest["fingerprint"]:
+        raise SnapshotError(
+            f"snapshot {path} was built for a different network "
+            f"(fingerprint {manifest['fingerprint'][:23]}..., "
+            f"supplied network is {fingerprint[:23]}...); rebuild the "
+            f"snapshot or load the matching dataset"
+        )
+
+    cfg = manifest.get("engine", {})
+    kwargs: dict[str, Any] = {
+        "use_gtree": cfg.get("default_use_gtree", "auto"),
+        "backend": cfg.get("default_backend", "auto"),
+        "gtree_leaf_size": cfg.get("gtree_leaf_size", 64),
+        "auto_local_threshold": cfg.get("auto_local_threshold", 256),
+        "filter_cache_size": cfg.get("filter_cache_size", 128),
+        "core_cache_size": cfg.get("core_cache_size", 128),
+        "dominance_cache_size": cfg.get("dominance_cache_size", 64),
+        "result_cache_size": cfg.get("result_cache_size", 256),
+    }
+    kwargs.update(overrides)
+
+    comp = manifest["components"]
+    with _open_arrays(path) as npz:
+        if "road_flat" in comp:
+            network.road._flat = FlatGraph.from_arrays(
+                _get(npz, "road_flat.indptr"),
+                _get(npz, "road_flat.indices"),
+                _get(npz, "road_flat.ids"),
+                (
+                    _get(npz, "road_flat.weights")
+                    if comp["road_flat"].get("weighted")
+                    else None
+                ),
+            )
+
+        if "gtree" in comp and not network.has_gtree:
+            meta = comp["gtree"]
+            state = {
+                name: _get(npz, f"gtree.{name}")
+                for name in (
+                    "parent", "is_leaf", "vert_ptr", "vert_flat",
+                    "border_ptr", "border_flat", "mat_ptr", "mat_src",
+                    "mat_dst", "mat_w",
+                )
+            }
+            network._gtree = GTree.from_state(
+                network.road,
+                state,
+                leaf_size=int(meta["leaf_size"]),
+                backend=str(meta["backend"]),
+            )
+
+        engine = MACEngine(network, **kwargs)
+
+        for i, entry in enumerate(comp.get("filter", [])):
+            key = _filter_key_from_json(entry)
+            ids = _get(npz, f"filter.{i}.ids")
+            dist = _get(npz, f"filter.{i}.dist")
+            core_arr = _get(npz, f"filter.{i}.coreness")
+            filtered = _graph_from_arrays(ids, _get(npz, f"filter.{i}.edges"))
+            query_distance = dict(zip(ids.tolist(), dist.tolist()))
+            coreness = dict(zip(ids.tolist(), core_arr.tolist()))
+            flat = core_rows = None
+            if entry.get("has_flat"):
+                flat = FlatGraph.from_arrays(
+                    _get(npz, f"filter.{i}.flat_indptr"),
+                    _get(npz, f"filter.{i}.flat_indices"),
+                    ids,
+                )
+                core_rows = core_arr.astype(np.int64, copy=False)
+            engine._filter_cache.put(key, _PreparedFilter(
+                query_distance=query_distance,
+                filtered=filtered,
+                coreness=coreness,
+                max_coreness=max(coreness.values(), default=0),
+                flat=flat,
+                core_rows=core_rows,
+            ))
+
+        for i, entry in enumerate(comp.get("core", [])):
+            key = _core_key_from_json(entry)
+            if not entry.get("feasible"):
+                engine._core_cache.put(key, _PreparedCore(None, None))
+                continue
+            verts = _get(npz, f"core.{i}.vertices")
+            graph = _graph_from_arrays(verts, _get(npz, f"core.{i}.edges"))
+            dist = _get(npz, f"core.{i}.dist")
+            core = KTCore(
+                graph=graph,
+                query_distance=dict(zip(verts.tolist(), dist.tolist())),
+            )
+            attrs = network.social.attributes_for(verts.tolist())
+            engine._core_cache.put(key, _PreparedCore(core, attrs))
+
+        for i, entry in enumerate(comp.get("dominance", [])):
+            key = _dominance_key_from_json(entry)
+            order = _get(npz, f"dominance.{i}.order").tolist()
+            ptr = _get(npz, f"dominance.{i}.parent_ptr").tolist()
+            flat_pos = _get(npz, f"dominance.{i}.parent_flat").tolist()
+            parents = {
+                v: tuple(order[p] for p in flat_pos[ptr[j]:ptr[j + 1]])
+                for j, v in enumerate(order)
+            }
+            lows, highs = key[3]
+            gd = DominanceGraph.from_hasse(
+                network.social.attributes_for(order),
+                PreferenceRegion(lows, highs),
+                order,
+                parents,
+                backend=entry.get("dg_backend", "auto"),
+            )
+            engine._gd_cache.put(key, gd)
+
+    return engine
+
+
+# ----------------------------------------------------------------------
+# info / verify
+# ----------------------------------------------------------------------
+def snapshot_info(path) -> dict:
+    """Manifest plus on-disk sizes, without decompressing any arrays."""
+    path = Path(path)
+    manifest = read_manifest(path)
+    files = {}
+    for name in (MANIFEST_FILE, ARRAYS_FILE):
+        f = path / name
+        if f.is_file():
+            files[name] = f.stat().st_size
+    comp = manifest["components"]
+    return {
+        "path": str(path),
+        "manifest": manifest,
+        "files": files,
+        "entry_counts": {
+            "filter": len(comp.get("filter", [])),
+            "core": len(comp.get("core", [])),
+            "dominance": len(comp.get("dominance", [])),
+        },
+        "has_gtree": "gtree" in comp,
+        "has_road_flat": "road_flat" in comp,
+    }
+
+
+def verify_snapshot(path, network: RoadSocialNetwork | None = None) -> dict:
+    """Fully check a snapshot's integrity; raise ``SnapshotError`` if bad.
+
+    Reads the manifest (format + version checks), decompresses every
+    array the manifest promises (catching truncation/corruption), and —
+    when ``network`` is given — verifies the dataset fingerprint.
+    Returns the :func:`snapshot_info` dict augmented with the number of
+    arrays checked.
+    """
+    path = Path(path)
+    info = snapshot_info(path)
+    manifest = info["manifest"]
+    expected = _expected_keys(manifest)
+    with _open_arrays(path) as npz:
+        present = set(npz.files)
+        for key in expected:
+            if key not in present:
+                raise SnapshotError(
+                    f"snapshot archive is missing array {key!r}"
+                )
+            _get(npz, key)  # decompress: surfaces truncated members
+    if network is not None:
+        fingerprint = network_fingerprint(network)
+        if fingerprint != manifest["fingerprint"]:
+            raise SnapshotError(
+                f"snapshot fingerprint {manifest['fingerprint'][:23]}... "
+                f"does not match the supplied network "
+                f"({fingerprint[:23]}...)"
+            )
+        info["fingerprint_checked"] = True
+    else:
+        info["fingerprint_checked"] = False
+    info["arrays_checked"] = len(expected)
+    return info

@@ -161,6 +161,80 @@ class TestBatchCommand:
         assert err.startswith("error: line 1") and "Traceback" not in err
 
 
+class TestIndexCommand:
+    DATASET = ["--dataset", "sf+slashdot", "--scale", "0.05"]
+
+    def _build(self, tmp_path, capsys, *extra):
+        out = str(tmp_path / "snap")
+        code = main(["index", "build", *self.DATASET, "--out", out, *extra])
+        assert code == 0, capsys.readouterr().err
+        return out
+
+    def test_build_info_verify_round_trip(self, capsys, tmp_path):
+        warm = tmp_path / "warm.jsonl"
+        warm.write_text('{"query_size": 2, "query_seed": 1, "k": 4}\n')
+        out = self._build(tmp_path, capsys, "--warm", str(warm))
+        built = capsys.readouterr().out
+        assert "snapshot written" in built
+        assert "fingerprint  sha256:" in built
+        assert "filter=1 core=1 dominance=1" in built
+
+        assert main(["index", "info", out]) == 0
+        info = capsys.readouterr().out
+        assert "repro-index-snapshot v1" in info
+        assert "g-tree" in info
+
+        assert main(["index", "verify", out]) == 0
+        assert "snapshot ok" in capsys.readouterr().out
+
+        assert main([
+            "index", "verify", out, *self.DATASET,
+        ]) == 0
+        assert "verified against --dataset" in capsys.readouterr().out
+
+    def test_verify_wrong_dataset_is_clean_error(self, capsys, tmp_path):
+        out = self._build(tmp_path, capsys)
+        capsys.readouterr()
+        code = main([
+            "index", "verify", out, "--dataset", "sf+slashdot",
+            "--scale", "0.1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_info_on_missing_snapshot_is_clean_error(
+        self, capsys, tmp_path
+    ):
+        code = main(["index", "info", str(tmp_path / "absent")])
+        assert code == 2
+        assert "not an index snapshot" in capsys.readouterr().err
+
+    def test_build_no_gtree(self, capsys, tmp_path):
+        out = self._build(tmp_path, capsys, "--no-gtree")
+        assert "g-tree       absent" in capsys.readouterr().out
+        assert main(["index", "verify", out]) == 0
+
+    def test_build_rejects_bad_warm_file(self, capsys, tmp_path):
+        warm = tmp_path / "warm.jsonl"
+        warm.write_text('{"query": [1, 2]}\n')  # missing k
+        out = str(tmp_path / "snap")
+        code = main([
+            "index", "build", *self.DATASET, "--out", out,
+            "--warm", str(warm),
+        ])
+        assert code == 2
+        assert "missing required field 'k'" in capsys.readouterr().err
+
+    def test_loadable_by_engine(self, capsys, tmp_path):
+        from repro import MACEngine, datasets
+
+        out = self._build(tmp_path, capsys)
+        ds = datasets.load_dataset("sf+slashdot", scale=0.05, seed=7)
+        engine = MACEngine.load(out, ds.network)
+        assert engine.network.has_gtree
+
+
 class TestSummary:
     def test_summary_nonempty(self, paper_network, paper_region):
         res = gs_nc(paper_network, [2, 3, 6], 3, 9.0, paper_region)
