@@ -1,0 +1,156 @@
+"""CI service smoke: snapshot -> `repro serve` -> scripted client session.
+
+The end-to-end deployment path, exactly as an operator would run it:
+
+1. build an index snapshot with the query's stages pre-warmed
+   (``repro index build --warm``),
+2. boot ``repro serve --snapshot`` as a real subprocess,
+3. drive a scripted ``ServiceClient`` session asserting the first
+   served query performs **zero index builds** (the warm-start contract
+   over the wire: per-request stage timings exactly 0.0, all stage
+   caches hit, engine stage_seconds all zero),
+4. exercise explain/batch/metrics and a deadline-carrying request
+   (typed failure, not a hang),
+5. SIGTERM the server and assert a clean exit 0.
+
+Run from the repo root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import MACRequest, PreferenceRegion, datasets  # noqa: E402
+from repro.errors import DeadlineExceeded  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.service.protocol import region_to_wire  # noqa: E402
+
+DATASET = "sf+slashdot"
+SCALE = 0.1
+SEED = 7
+K = 4
+PORT = 18642
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def run_cli(*argv: str) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        check=True, cwd=REPO, env=cli_env(),
+    )
+
+
+def main() -> int:
+    ds = datasets.load_dataset(DATASET, scale=SCALE, seed=SEED)
+    d = ds.network.social.dimensionality
+    t = ds.default_t * SCALE ** 0.5
+    region = PreferenceRegion.centered([0.9 / d] * (d - 1), 0.01)
+    query = ds.suggest_query(2, k=K, t=t, seed=1)
+    request = MACRequest.make(
+        query, K, t, region, algorithm="local", label="smoke",
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = Path(tmp) / "idx"
+        warm = Path(tmp) / "warm.jsonl"
+        warm.write_text(json.dumps({
+            "query": list(query), "k": K, "t": t,
+            "region": region_to_wire(region), "algorithm": "local",
+        }) + "\n")
+        run_cli(
+            "index", "build", "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--out", str(snapshot), "--warm", str(warm),
+        )
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--dataset", DATASET, "--scale", str(SCALE),
+             "--seed", str(SEED), "--snapshot", str(snapshot),
+             "--port", str(PORT), "--workers", "2"],
+            cwd=REPO, env=cli_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            client = ServiceClient(port=PORT, timeout=30.0)
+            for _ in range(150):
+                try:
+                    health = client.healthz()
+                    break
+                except Exception:
+                    if server.poll() is not None:
+                        out, err = server.communicate()
+                        raise AssertionError(
+                            f"server died during boot:\n{out}\n{err}"
+                        )
+                    time.sleep(0.2)
+            else:
+                raise AssertionError("server never became healthy")
+            assert health["status"] == "ok", health
+
+            # The warm-start contract, observed through the wire: the
+            # first served query builds nothing.
+            result = client.search(request)
+            assert result.partitions, "warmed query answered empty"
+            info = result.extra["engine"]
+            timings = info["timings"]
+            for stage in ("filter", "core", "dominance"):
+                assert timings[stage] == 0.0, (stage, timings)
+                assert info["cache"][stage] == "hit", info["cache"]
+            metrics = client.metrics()
+            stage_seconds = metrics["engine"]["stage_seconds"]
+            for stage in ("filter", "core", "dominance"):
+                assert stage_seconds[stage] == 0.0, stage_seconds
+            print("first served query: zero index builds "
+                  f"(cache={info['cache']})")
+
+            plan = client.explain(request)
+            assert plan.cached["filter"] and plan.cached["core"], plan.cached
+            batch = client.search_batch([request, request])
+            assert len(batch) == 2
+
+            try:
+                client.search(MACRequest.make(
+                    query, K, t * 1.01, region,
+                    algorithm="local", deadline=1e-6,
+                ))
+                raise AssertionError("deadline request did not fail typed")
+            except DeadlineExceeded as exc:
+                print(f"deadline request failed typed: {exc}")
+
+            final = client.metrics()
+            # one /v1/search + one /v1/batch admission unit served; the
+            # doomed request died in the queue, counted separately
+            assert final["service"]["served"] >= 2, final["service"]
+            assert final["service"]["deadline_exceeded"] >= 1
+            assert final["engine"]["searches"] >= 3, final["engine"]
+            client.close()
+        finally:
+            if server.poll() is None:
+                server.send_signal(signal.SIGTERM)
+            out, err = server.communicate(timeout=30)
+        assert server.returncode == 0, (
+            f"server exit code {server.returncode}:\n{out}\n{err}"
+        )
+        assert "shutdown:" in out, out
+        print("clean shutdown confirmed:")
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,10 +43,13 @@ from repro.core.query import Community, MACQuery, PartitionEntry
 from repro.dominance.graph import DominanceGraph
 from repro.errors import (
     DatasetError,
+    DeadlineExceeded,
     GeometryError,
     GraphError,
     QueryError,
     ReproError,
+    ServiceError,
+    ServiceOverloaded,
     SnapshotError,
 )
 from repro.geometry.preference_learning import LearnedRegion
@@ -57,7 +60,7 @@ from repro.road.network import RoadNetwork, SpatialPoint
 from repro.social.network import SocialNetwork
 from repro.social.roadsocial import RoadSocialNetwork
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MACEngine",
@@ -88,5 +91,8 @@ __all__ = [
     "GeometryError",
     "DatasetError",
     "SnapshotError",
+    "DeadlineExceeded",
+    "ServiceError",
+    "ServiceOverloaded",
     "__version__",
 ]

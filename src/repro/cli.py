@@ -15,6 +15,9 @@ Commands
               optionally JSONL-warmed stage caches), ``index info``
               prints a snapshot's manifest, ``index verify`` checks its
               integrity (and, with ``--dataset``, its fingerprint).
+``serve``   — boot the JSON-over-HTTP serving API on one warm engine
+              (optionally warm-started from ``--snapshot``); query it
+              with ``repro.service.ServiceClient``.
 """
 
 from __future__ import annotations
@@ -25,10 +28,11 @@ import sys
 
 import numpy as np
 
-from repro import MACEngine, MACRequest, PreferenceRegion, datasets
+from repro import MACEngine, MACRequest, PreferenceRegion, __version__, datasets
 from repro.datasets.registry import DATASET_NAMES
 from repro.errors import QueryError, ReproError
 from repro.kernels.backend import BACKENDS
+from repro.service.protocol import DEFAULT_PORT, plan_to_wire, result_to_wire
 from repro.store.snapshot import snapshot_info, verify_snapshot
 
 
@@ -107,9 +111,18 @@ def cmd_search(args: argparse.Namespace) -> int:
         use_gtree=args.gtree,
     )
     if args.explain:
-        print(engine.explain(request).summary())
+        plan = engine.explain(request)
+        if args.json:
+            print(json.dumps(plan_to_wire(plan), indent=2))
+        else:
+            print(plan.summary())
         return 0
     result = engine.search(request)
+    if args.json:
+        # The service wire encoding: one JSON object, parseable by the
+        # same consumers that read /v1/search responses.
+        print(json.dumps(result_to_wire(result), indent=2))
+        return 0
     print(result.summary())
     if args.members and result.partitions:
         for i, entry in enumerate(result.partitions):
@@ -406,6 +419,45 @@ def cmd_index_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import MACService
+
+    ds = datasets.load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        dimensions=args.dimensions,
+    )
+    if args.snapshot is not None:
+        engine = MACEngine.load(args.snapshot, ds.network)
+        source = f"snapshot {args.snapshot} (warm start)"
+    else:
+        engine = MACEngine(ds.network, eager=args.eager)
+        source = "fresh engine" + (" (eager indexes)" if args.eager else "")
+    service = MACService(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline=args.default_deadline,
+    )
+
+    def banner() -> None:
+        # Flushed line-by-line so a supervisor (or the CI smoke job) can
+        # poll for readiness on stdout as well as on /v1/healthz.
+        print(f"engine: {args.dataset} scale={args.scale} seed={args.seed} "
+              f"d={args.dimensions}, {source}", flush=True)
+        print(f"serving on http://{service.host}:{service.port} "
+              f"(workers={args.workers}, queue_depth={args.queue_depth}, "
+              f"default_deadline={args.default_deadline})", flush=True)
+
+    service.run(on_started=banner)
+    tel = engine.telemetry()
+    print(f"shutdown: {tel.searches} search(es) served, cache "
+          f"hits={tel.hits} misses={tel.misses}, "
+          f"deadline-exceeded={tel.deadline_exceeded}")
+    return 0
+
+
 #: Attribute dimensionality shared by every dataset-loading subcommand
 #: (declared once so `index verify` regenerates what `index build` saw).
 DEFAULT_DIMENSIONS = 3
@@ -420,6 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-attributed community search (ICDE 2021 repro)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -445,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--explain", action="store_true",
         help="print the resolved query plan instead of running it",
+    )
+    p_search.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: the result (or, with --explain, "
+             "the plan) as one JSON object in the service wire format",
     )
     p_search.set_defaults(func=cmd_search)
 
@@ -512,6 +572,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--dimensions", type=int, default=DEFAULT_DIMENSIONS
     )
     p_verify.set_defaults(func=cmd_index_verify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve MAC queries over JSON/HTTP from one warm engine",
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument(
+        "--dimensions", type=int, default=DEFAULT_DIMENSIONS
+    )
+    p_serve.add_argument(
+        "--snapshot", default=None, metavar="DIR",
+        help="warm-start the engine from this index snapshot "
+             "(built with `repro index build`; fingerprint-checked "
+             "against the regenerated dataset)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="engine calls executing at once (default 4)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admitted-but-waiting requests beyond --workers before "
+             "the server answers 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="budget stamped onto requests that carry no deadline",
+    )
+    p_serve.add_argument(
+        "--eager", action="store_true",
+        help="build network-level indexes before listening "
+             "(no-op with --snapshot)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_case = sub.add_parser("case", help="Aminer-style case study")
     p_case.add_argument("--k", type=int, default=5)

@@ -22,6 +22,7 @@ from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.deadline import Deadline
 from repro.dominance.graph import DominanceGraph
 from repro.errors import QueryError
 from repro.geometry.cell import Cell
@@ -61,6 +62,7 @@ class GlobalSearch:
         max_partitions: int | None = None,
         refinement: str = "arrangement",
         time_budget: float | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         if refinement not in ("arrangement", "envelope"):
             raise QueryError(f"unknown refinement {refinement!r}")
@@ -80,6 +82,12 @@ class GlobalSearch:
         self.refinement = refinement
         #: Optional wall-clock cap in seconds; exceeded => QueryError.
         self.time_budget = time_budget
+        #: Optional request-wide budget; exceeded => DeadlineExceeded.
+        #: Unlike ``time_budget`` (a per-search knob that starts ticking
+        #: here), the deadline covers the whole request and is checked
+        #: every task and peeling round — this is what tames GS-T's
+        #: partition explosion into a typed, bounded failure.
+        self.deadline = deadline
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------
@@ -211,6 +219,8 @@ class GlobalSearch:
         while queue:
             alive, batches, leaves, cell = queue.popleft()
             self.stats.tasks += 1
+            if self.deadline is not None:
+                self.deadline.check("global search")
             if (
                 deadline is not None
                 and self.stats.tasks % 16 == 0
@@ -223,6 +233,8 @@ class GlobalSearch:
             graph = None  # built lazily: split-only tasks never peel
             dominated: set[tuple[int, int]] = set()
             while True:
+                if self.deadline is not None:
+                    self.deadline.check("global search peeling")
                 u = self._smallest_leaf(leaves, cell)
                 if self.refinement == "arrangement":
                     crossing = self._pairwise_crossing(

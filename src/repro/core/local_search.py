@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable
 
+from repro.deadline import Deadline
 from repro.dominance.graph import DominanceGraph
 from repro.errors import QueryError
 from repro.geometry.cell import Cell
@@ -74,6 +75,7 @@ def expand(
     strategy: str = "eq3",
     max_candidates: int = 24,
     max_vertices: int | None = None,
+    deadline: Deadline | None = None,
 ) -> list[frozenset[int]]:
     """Algorithm 4: candidate communities around Q, smallest first.
 
@@ -133,6 +135,8 @@ def expand(
     budget = max_vertices if max_vertices is not None else htk.num_vertices
     deficient = sum(1 for v in members if degree_in[v] < k)
     while heap and len(candidates) < max_candidates and len(members) <= budget:
+        if deadline is not None:
+            deadline.check("local expand")
         neg_p, _count, v = heapq.heappop(heap)
         if v in members:
             continue
@@ -174,6 +178,7 @@ class LocalSearch:
         strategy: str = "eq3",
         max_candidates: int = 24,
         certification: str = "fast",
+        deadline: Deadline | None = None,
     ) -> None:
         if certification not in ("fast", "chain"):
             raise QueryError(f"unknown certification {certification!r}")
@@ -190,6 +195,10 @@ class LocalSearch:
         #: full-graph peeling oracle there (sound per sample, used by the
         #: validation tests).
         self.certification = certification
+        #: Optional request-wide budget; exceeded => DeadlineExceeded.
+        #: Checked per expand step, per threshold probe, and per
+        #: candidate verification.
+        self.deadline = deadline
         self.stats = SearchStats()
         self._all = frozenset(htk.vertices())
         self._bound_memo: dict[tuple[int, frozenset[int]], bool] = {}
@@ -387,6 +396,8 @@ class LocalSearch:
         out: list[frozenset[int]] = []
         seen_rankings: set[tuple[int, ...]] = set()
         for w in probes:
+            if self.deadline is not None:
+                self.deadline.check("local threshold probing")
             ranked = sorted(
                 self._all,
                 key=lambda v: (-self.gd.score_at(v, w), v),
@@ -416,6 +427,8 @@ class LocalSearch:
             found = 0
             previous: frozenset[int] | None = None
             for size in range(lo, len(ranked) + step, step):
+                if self.deadline is not None:
+                    self.deadline.check("local threshold probing")
                 core = core_of(min(size, len(ranked)))
                 if core is None:
                     continue
@@ -438,6 +451,7 @@ class LocalSearch:
             self.k,
             strategy=self.strategy,
             max_candidates=self.max_candidates,
+            deadline=self.deadline,
         )
         for extra in self._threshold_candidates():
             if extra not in candidates:
@@ -450,6 +464,8 @@ class LocalSearch:
         for members in candidates:
             if members in claimed:
                 continue
+            if self.deadline is not None:
+                self.deadline.check("local verify")
             claimed.append(members)
             for cell, found in self._verify_candidate(members):
                 entries.append(PartitionEntry(cell, [Community(found)]))
@@ -490,6 +506,8 @@ class LocalSearch:
                 tree.insert(h)
                 self.stats.halfspaces_inserted += 1
             for cell in tree.leaves():
+                if self.deadline is not None:
+                    self.deadline.check("local top-j refinement")
                 w = cell.interior_point()
                 scores = {v: self.gd.score_at(v, w) for v in self._all}
                 chain, _batches = deletion_chain(

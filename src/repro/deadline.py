@@ -1,0 +1,58 @@
+"""Wall-clock budgets threaded through the MAC query pipeline.
+
+A :class:`Deadline` is created by the engine when a request carries a
+``deadline`` budget (seconds) and is passed down through the pipeline:
+stage boundaries and the search inner loops call :meth:`Deadline.check`,
+so a budget-exceeding request fails with the typed
+:class:`~repro.errors.DeadlineExceeded` instead of hanging — the
+property the serving API relies on to keep one slow query from wedging
+a worker slot forever.
+
+The clock is ``time.monotonic()``: budgets are relative, immune to wall
+clock adjustments, and cheap to poll from hot loops.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A monotonic-clock budget covering one request end to end."""
+
+    __slots__ = ("budget", "_expires_at")
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget}")
+        self.budget = float(budget)
+        self._expires_at = time.monotonic() + self.budget
+
+    @classmethod
+    def of(cls, budget: float | None) -> Deadline | None:
+        """A deadline for ``budget`` seconds, or None for no budget."""
+        return None if budget is None else cls(budget)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() > self._expires_at
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out.
+
+        ``stage`` names the pipeline phase for the error message, so a
+        caller (or a service log) can see *where* the budget went.
+        """
+        if self.expired():
+            raise DeadlineExceeded(
+                f"request exceeded its {self.budget:g}s deadline "
+                f"during {stage}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(budget={self.budget:g}, remaining={self.remaining():.3f})"

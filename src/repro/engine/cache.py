@@ -56,7 +56,10 @@ class LRUCache:
 
     # ------------------------------------------------------------------
     def get_or_create(
-        self, key: Hashable, factory: Callable[[], Any]
+        self,
+        key: Hashable,
+        factory: Callable[[], Any],
+        deadline: Any | None = None,
     ) -> tuple[Any, bool]:
         """Return ``(value, was_hit)``, building via ``factory`` on a miss.
 
@@ -64,6 +67,13 @@ class LRUCache:
         elected builder finishes (or, if it raises, the next waiter takes
         over the build).  Waiters that receive a value built by another
         thread count as hits: they paid none of the build cost.
+
+        ``deadline`` (an object with ``remaining()``/``check()``, see
+        :class:`repro.deadline.Deadline`) bounds the *wait*: a budgeted
+        caller stuck behind someone else's slow build fails typed
+        (``check`` raises) instead of blocking unboundedly — without it,
+        a deadline-carrying request could hang on ``event.wait()`` for
+        the full duration of an unbudgeted caller's build.
         """
         while True:
             with self._lock:
@@ -79,7 +89,14 @@ class LRUCache:
                 else:
                     elected = False
             if not elected:
-                event.wait()
+                if deadline is None:
+                    event.wait()
+                elif not event.wait(
+                    timeout=max(deadline.remaining(), 0.0)
+                ):
+                    # Timed out waiting on the in-flight build: expired
+                    # (check raises) or a clock sliver (loop re-waits).
+                    deadline.check("waiting for an in-flight build")
                 continue  # re-check: value present, evicted, or build failed
             try:
                 value = factory()

@@ -36,10 +36,11 @@ from repro.core.api import MACSearchResult
 from repro.core.global_search import GlobalSearch, SearchStats
 from repro.core.local_search import LocalSearch
 from repro.core.query import MACQuery, PartitionEntry
+from repro.deadline import Deadline
 from repro.dominance.graph import DominanceGraph
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.request import BACKENDS, MACRequest
-from repro.errors import QueryError
+from repro.errors import DeadlineExceeded, QueryError
 from repro.graph.core import core_decomposition
 from repro.kernels import (
     FlatGraph,
@@ -97,7 +98,9 @@ class EngineTelemetry:
     ``stage_seconds`` holds the cumulative wall time spent *building*
     each pipeline stage (cache hits contribute nothing) plus the time
     spent in the search phase — the observability hook that makes
-    per-stage backend wins measurable.
+    per-stage backend wins measurable.  ``deadline_exceeded`` counts
+    requests aborted by their :class:`~repro.errors.DeadlineExceeded`
+    budget (the serving metric that distinguishes "slow" from "hung").
     """
 
     searches: int
@@ -107,6 +110,7 @@ class EngineTelemetry:
     dominance: CacheStats
     result: CacheStats
     stage_seconds: dict = field(default_factory=dict)
+    deadline_exceeded: int = 0
 
     @property
     def hits(self) -> int:
@@ -248,6 +252,7 @@ class MACEngine:
         self._counter_lock = threading.Lock()
         self._searches = 0
         self._batches = 0
+        self._deadline_exceeded = 0
         self._stage_seconds = {stage: 0.0 for stage in STAGES}
         if eager:
             self.prepare()
@@ -310,6 +315,7 @@ class MACEngine:
         """Aggregate cache and search counters since construction."""
         with self._counter_lock:
             searches, batches = self._searches, self._batches
+            deadline_exceeded = self._deadline_exceeded
             stage_seconds = dict(self._stage_seconds)
         disabled = CacheStats(hits=0, misses=0, size=0, capacity=0)
         return EngineTelemetry(
@@ -324,6 +330,7 @@ class MACEngine:
                 else disabled
             ),
             stage_seconds=stage_seconds,
+            deadline_exceeded=deadline_exceeded,
         )
 
     def _account_stage_times(self, times: dict[str, float]) -> None:
@@ -377,8 +384,11 @@ class MACEngine:
         backend: str,
         tel: dict,
         times: dict,
+        deadline: Deadline | None = None,
     ) -> _PreparedFilter:
         def build() -> _PreparedFilter:
+            if deadline is not None:
+                deadline.check("range filter")
             start = time.perf_counter()
             # The road stage gets the *raw* selector: an "auto" request
             # lets bounded Dijkstra apply its own per-kernel rule (flat
@@ -412,7 +422,7 @@ class MACEngine:
             )
 
         prep, hit = self._filter_cache.get_or_create(
-            request.filter_key + (backend,), build
+            request.filter_key + (backend,), build, deadline
         )
         tel["filter"] = "hit" if hit else "miss"
         return prep
@@ -452,11 +462,14 @@ class MACEngine:
         backend: str,
         tel: dict,
         times: dict,
+        deadline: Deadline | None = None,
     ) -> _PreparedCore:
         def build() -> _PreparedCore:
             prep = self._prepared_filter(
-                request, use_gtree, backend, tel, times
+                request, use_gtree, backend, tel, times, deadline
             )
+            if deadline is not None:
+                deadline.check("(k,t)-core extraction")
             start = time.perf_counter()
             try:
                 if request.k > prep.max_coreness:
@@ -472,7 +485,7 @@ class MACEngine:
                 times["core"] = time.perf_counter() - start
 
         state, hit = self._core_cache.get_or_create(
-            request.core_key + (backend,), build
+            request.core_key + (backend,), build, deadline
         )
         tel["core"] = "hit" if hit else "miss"
         if hit:
@@ -487,8 +500,11 @@ class MACEngine:
         backend: str,
         tel: dict,
         times: dict,
+        deadline: Deadline | None = None,
     ) -> DominanceGraph:
         def build() -> DominanceGraph:
+            if deadline is not None:
+                deadline.check("r-dominance construction")
             start = time.perf_counter()
             try:
                 return DominanceGraph(
@@ -498,7 +514,7 @@ class MACEngine:
                 times["dominance"] = time.perf_counter() - start
 
         gd, hit = self._gd_cache.get_or_create(
-            request.dominance_key + (backend,), build
+            request.dominance_key + (backend,), build, deadline
         )
         tel["dominance"] = "hit" if hit else "miss"
         return gd
@@ -531,6 +547,7 @@ class MACEngine:
         algorithm: str,
         core: KTCore,
         gd: DominanceGraph,
+        deadline: Deadline | None = None,
     ) -> tuple[list[PartitionEntry], SearchStats]:
         if algorithm == "global":
             searcher = GlobalSearch(
@@ -542,6 +559,7 @@ class MACEngine:
                 max_partitions=request.max_partitions,
                 refinement=request.refinement,
                 time_budget=request.time_budget,
+                deadline=deadline,
             )
         else:
             searcher = LocalSearch(
@@ -553,6 +571,7 @@ class MACEngine:
                 strategy=request.strategy,
                 max_candidates=request.max_candidates,
                 certification=request.certification,
+                deadline=deadline,
             )
         if request.problem == "nc":
             partitions = searcher.search_nc()
@@ -573,17 +592,37 @@ class MACEngine:
         cannot poison the cache.  The ``PartitionEntry`` objects inside
         are shared — treat results as read-only, as everywhere in this
         package.
+
+        A request with a ``deadline`` budget raises the typed
+        :class:`~repro.errors.DeadlineExceeded` once the budget expires
+        (checked at every stage boundary and inside the search loops);
+        nothing half-built is cached, so a later retry with a larger
+        budget starts clean.
         """
         request = self._check(request)
+        try:
+            return self._search_checked(request)
+        except DeadlineExceeded:
+            with self._counter_lock:
+                self._deadline_exceeded += 1
+            raise
+
+    def _search_checked(self, request: MACRequest) -> MACSearchResult:
         start = time.perf_counter()
+        deadline = Deadline.of(request.deadline)
         with self._counter_lock:
             self._searches += 1
         if self._result_cache is None:
-            result = self._execute(request)
+            result = self._execute(request, deadline)
             result.extra["engine"]["cache"]["result"] = "off"
             return result
+        # A result-cache hit is served instantly, deadline or not; a
+        # miss runs the budgeted pipeline (the deadline also bounds any
+        # wait on another thread's in-flight build of the same key).
         template, hit = self._result_cache.get_or_create(
-            request.result_key, lambda: self._execute(request)
+            request.result_key,
+            lambda: self._execute(request, deadline),
+            deadline,
         )
         entry = dict(template.extra["engine"])
         entry["label"] = request.label
@@ -610,7 +649,9 @@ class MACEngine:
             extra={"engine": entry},
         )
 
-    def _execute(self, request: MACRequest) -> MACSearchResult:
+    def _execute(
+        self, request: MACRequest, deadline: Deadline | None = None
+    ) -> MACSearchResult:
         """The uncached pipeline: prepare (via stage caches) + search."""
         use_gtree = self._resolve_use_gtree(request)
         backend = self._resolve_backend(request)
@@ -621,7 +662,7 @@ class MACEngine:
         tel_cache: dict[str, str] = {}
         times: dict[str, float] = {}
         core_state = self._prepared_core(
-            request, use_gtree, backend, tel_cache, times
+            request, use_gtree, backend, tel_cache, times, deadline
         )
         if core_state.core is None:
             tel_cache["dominance"] = "skipped"
@@ -634,14 +675,18 @@ class MACEngine:
                 prepare_s=time.perf_counter() - start, search_s=0.0,
             )
             return result
-        gd = self._dominance(request, core_state, backend, tel_cache, times)
+        gd = self._dominance(
+            request, core_state, backend, tel_cache, times, deadline
+        )
         prepare_s = time.perf_counter() - start
         algorithm, _reason = self._resolve_algorithm(
             request, core_state.core.num_vertices
         )
+        if deadline is not None:
+            deadline.check("search")
         search_start = time.perf_counter()
         partitions, stats = self._run_searcher(
-            request, algorithm, core_state.core, gd
+            request, algorithm, core_state.core, gd, deadline
         )
         search_s = time.perf_counter() - search_start
         times["search"] = search_s
@@ -697,13 +742,14 @@ class MACEngine:
         request = self._check(request)
         use_gtree = self._resolve_use_gtree(request)
         backend = self._resolve_backend(request)
+        deadline = Deadline.of(request.deadline)
         tel: dict[str, str] = {}
         times: dict[str, float] = {}
         core_state = self._prepared_core(
-            request, use_gtree, backend, tel, times
+            request, use_gtree, backend, tel, times, deadline
         )
         if core_state.core is not None:
-            self._dominance(request, core_state, backend, tel, times)
+            self._dominance(request, core_state, backend, tel, times, deadline)
         else:
             tel["dominance"] = "skipped"
         self._account_stage_times(times)

@@ -55,6 +55,12 @@ class MACRequest:
     refinement: str = "arrangement"
     certification: str = "fast"
     time_budget: float | None = None
+    #: Wall-clock budget (seconds) for the whole request: every pipeline
+    #: stage and search loop checks it, raising the typed
+    #: :class:`~repro.errors.DeadlineExceeded` on expiry.  Like ``label``
+    #: it cannot change the answer, so it is excluded from the request's
+    #: semantic identity (``result_key``) and equality.
+    deadline: float | None = field(default=None, compare=False)
     label: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -142,6 +148,17 @@ class MACRequest:
             raise QueryError(
                 f"time_budget must be positive, got {self.time_budget}"
             )
+        if self.deadline is not None:
+            if not isinstance(self.deadline, Real):
+                raise QueryError(
+                    f"deadline must be a number of seconds, got "
+                    f"{self.deadline!r}"
+                )
+            object.__setattr__(self, "deadline", float(self.deadline))
+            if self.deadline <= 0:
+                raise QueryError(
+                    f"deadline must be positive, got {self.deadline}"
+                )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -191,7 +208,8 @@ class MACRequest:
         """Full semantic identity of the request (result-cache key).
 
         Everything that can influence the answer — all fields except the
-        display ``label``.
+        display ``label`` and the ``deadline`` budget (a request that
+        beat its deadline produced the same answer any deadline allows).
         """
         return (
             self.query,

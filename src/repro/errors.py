@@ -28,3 +28,28 @@ class DatasetError(ReproError):
 
 class SnapshotError(ReproError):
     """An index snapshot is missing, corrupted, stale, or incompatible."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request ran past its wall-clock deadline and was aborted.
+
+    Raised by the engine (and surfaced by the service as HTTP 504) when
+    ``MACRequest.deadline`` expires at a pipeline-stage boundary or
+    inside a search loop — a budgeted query fails typed instead of
+    hanging.
+    """
+
+
+class ServiceError(ReproError):
+    """A service request failed for a transport- or server-side reason."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The server's admission queue is full (HTTP 429).
+
+    ``retry_after`` is the server's backoff hint in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -122,6 +122,21 @@ class PreferenceRegion:
             return 1.0
         return float(np.prod(self.highs - self.lows))
 
+    # Content equality: regions are immutable by convention, travel
+    # through cache keys and the service wire format as their bounds,
+    # and two regions with identical bounds answer every query alike.
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PreferenceRegion)
+            and np.array_equal(self.lows, other.lows)
+            and np.array_equal(self.highs, other.highs)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (tuple(self.lows.tolist()), tuple(self.highs.tolist()))
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         spans = ", ".join(
             f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.lows, self.highs)

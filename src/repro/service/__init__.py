@@ -1,0 +1,35 @@
+"""`repro.service`: the async serving API over :class:`MACEngine`.
+
+One warm engine process, many concurrent remote queries:
+
+* :class:`MACService` — stdlib-asyncio JSON-over-HTTP server with
+  deadlines, bounded admission (429 + Retry-After back-pressure), and
+  engine telemetry endpoints.  Boot it from the CLI with
+  ``repro serve --dataset ... | --snapshot ...``.
+* :class:`ServiceClient` — blocking Python client whose
+  ``search`` / ``search_batch`` / ``explain`` mirror the engine API, so
+  callers migrate by swapping the constructor.
+* :mod:`repro.service.protocol` — the shared JSON wire codec (typed
+  errors included; the client raises the same :mod:`repro.errors`
+  classes the in-process engine raises).
+
+See ENGINE.md ("Serving") for the protocol reference and quickstart.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ServicePlan,
+    ServiceResult,
+)
+from repro.service.server import MACService
+
+__all__ = [
+    "MACService",
+    "ServiceClient",
+    "ServiceResult",
+    "ServicePlan",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,224 @@
+"""`ServiceClient`: the blocking Python client of a MAC service.
+
+Drop-in migration target for :class:`~repro.engine.MACEngine`: the
+methods mirror the engine API (``search`` / ``search_batch`` /
+``explain``), accept the same typed :class:`MACRequest` objects, and
+raise the same :mod:`repro.errors` classes the in-process engine raises
+(rebuilt from the server's typed error payloads) — callers migrate by
+swapping the constructor::
+
+    engine = MACEngine(network)          # before: in-process
+    engine = ServiceClient(port=8321)    # after: remote, same call sites
+
+    result = engine.search(request)      # MACRequest in, partitions out
+    plans = engine.explain(request)
+
+Transport is stdlib ``http.client`` over a keep-alive connection; a
+stale connection (server restarted between calls) is retried once
+transparently.  Server-side back-pressure surfaces as
+:class:`~repro.errors.ServiceOverloaded` (with the server's
+``retry_after`` hint) and expired budgets as
+:class:`~repro.errors.DeadlineExceeded` — never as a hang.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from repro.engine.request import MACRequest
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    ServicePlan,
+    ServiceResult,
+    error_from_wire,
+    plan_from_wire,
+    request_to_wire,
+    result_from_wire,
+)
+
+
+class ServiceClient:
+    """A blocking client bound to one ``host:port`` MAC service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, method: str, path: str, payload=None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        data = b""
+        for attempt in (1, 2):
+            # Retry exactly once, and only for the stale-keep-alive
+            # signatures on a *reused* connection (send failure, or the
+            # server closing without sending any response) — a failure
+            # mid-response may mean the request already executed, and
+            # while queries are pure, silently re-running them doubles
+            # engine work; surface those typed instead.
+            reused = self._conn is not None
+            retriable = reused and attempt == 1
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+            except socket.timeout as exc:
+                self.close()
+                raise ServiceError(
+                    f"MAC service at {self.host}:{self.port} timed out "
+                    f"after {self.timeout:g}s"
+                ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if retriable:
+                    continue  # the stale socket never carried the request
+                raise ServiceError(
+                    f"cannot reach MAC service at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except socket.timeout as exc:
+                self.close()
+                raise ServiceError(
+                    f"MAC service at {self.host}:{self.port} timed out "
+                    f"after {self.timeout:g}s"
+                ) from exc
+            except http.client.RemoteDisconnected as exc:
+                self.close()
+                if retriable:
+                    continue  # classic stale keep-alive: no response sent
+                raise ServiceError(
+                    f"MAC service at {self.host}:{self.port} closed the "
+                    f"connection without responding: {exc}"
+                ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                raise ServiceError(
+                    f"connection to MAC service at {self.host}:{self.port} "
+                    f"was lost while awaiting the response: {exc}"
+                ) from exc
+        try:
+            parsed = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"malformed response from MAC service ({exc})"
+            ) from exc
+        if isinstance(parsed, dict) and "error" in parsed:
+            raise error_from_wire(parsed["error"])
+        if not isinstance(parsed, dict):
+            raise ServiceError("malformed response from MAC service")
+        return parsed
+
+    @staticmethod
+    def _check_request(request) -> MACRequest:
+        if not isinstance(request, MACRequest):
+            raise ServiceError(
+                f"expected a MACRequest, got {type(request).__name__}; "
+                f"build one with MACRequest.make(...)"
+            )
+        return request
+
+    # ------------------------------------------------------------------
+    # the engine-mirroring API
+    # ------------------------------------------------------------------
+    def search(self, request: MACRequest) -> ServiceResult:
+        """Run one request on the server (`MACEngine.search` shape)."""
+        wire = request_to_wire(self._check_request(request))
+        payload = self._call("POST", "/v1/search", wire)
+        return result_from_wire(payload.get("result"))
+
+    def search_batch(
+        self,
+        requests,
+        workers: int | None = None,
+        *,
+        return_errors: bool = False,
+    ) -> list:
+        """Run independent requests in one round trip, in request order.
+
+        Mirrors ``MACEngine.search_batch``: by default the first
+        per-item failure is re-raised typed (the whole batch was still
+        executed server-side).  With ``return_errors=True`` the list
+        carries the typed exception object in the failed slots instead,
+        so callers can harvest partial results.
+        """
+        reqs = [self._check_request(r) for r in requests]
+        if not reqs:
+            return []
+        body = {"requests": [request_to_wire(r) for r in reqs]}
+        if workers is not None:
+            body["workers"] = workers
+        payload = self._call("POST", "/v1/batch", body)
+        items = payload.get("results")
+        if not isinstance(items, list) or len(items) != len(reqs):
+            raise ServiceError(
+                "malformed batch response from MAC service"
+            )
+        out = []
+        for item in items:
+            if isinstance(item, dict) and item.get("ok"):
+                out.append(result_from_wire(item.get("result")))
+            else:
+                error = error_from_wire(
+                    item.get("error") if isinstance(item, dict) else None
+                )
+                if not return_errors:
+                    raise error
+                out.append(error)
+        return out
+
+    def explain(self, request: MACRequest) -> ServicePlan:
+        """Resolve the plan server-side (`MACEngine.explain` shape)."""
+        wire = request_to_wire(self._check_request(request))
+        payload = self._call("POST", "/v1/explain", wire)
+        return plan_from_wire(payload.get("plan"))
+
+    # ------------------------------------------------------------------
+    # service introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness + version info (never triggers index builds)."""
+        return self._call("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """Engine cache/stage telemetry + server admission counters."""
+        return self._call("GET", "/v1/metrics")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServiceClient(http://{self.host}:{self.port})"

@@ -1,0 +1,712 @@
+"""`MACService`: the asyncio JSON-over-HTTP front end of `MACEngine`.
+
+One warm engine process, many concurrent remote queries.  The server is
+stdlib-only (``asyncio`` streams + a minimal HTTP/1.1 layer): engine
+calls are CPU-bound Python, so they run on a bounded thread pool while
+the event loop stays free to accept, parse, and answer.
+
+Endpoints (all bodies JSON):
+
+========================  =============================================
+``POST /v1/search``       one wire request -> one result
+``POST /v1/batch``        ``{"requests": [...], "workers": n}`` ->
+                          per-item ``{"ok": ..., "result"|"error"}``
+``POST /v1/explain``      one wire request -> the resolved plan
+``GET  /v1/healthz``      liveness + version/protocol (never builds)
+``GET  /v1/metrics``      engine cache/stage telemetry + admission
+                          counters
+========================  =============================================
+
+**Admission control.**  At most ``max_concurrency`` requests compute at
+once; up to ``queue_depth`` more wait.  Beyond that the server answers
+``429`` with a ``Retry-After`` estimate instead of building an unbounded
+backlog — back-pressure reaches the client as the typed
+:class:`~repro.errors.ServiceOverloaded`.
+
+**Deadlines.**  A request's ``deadline`` budget covers queue wait too:
+time spent queued is subtracted before dispatch, and a request whose
+budget died in the queue fails fast (504, typed
+:class:`~repro.errors.DeadlineExceeded`) without occupying a worker.
+``default_deadline`` applies a server-side budget to requests that do
+not carry one, so one pathological query cannot wedge a slot forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import queue
+import signal
+import sys
+import threading
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro import __version__
+from repro.engine.engine import MACEngine
+from repro.errors import (
+    DeadlineExceeded,
+    QueryError,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    error_to_wire,
+    plan_to_wire,
+    request_from_wire,
+    result_to_wire,
+    telemetry_to_wire,
+)
+
+#: Largest accepted request body (a batch of thousands of requests fits
+#: comfortably; anything bigger is a client bug, answered with 413).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _DaemonExecutor(concurrent.futures.Executor):
+    """A fixed pool of *daemon* worker threads.
+
+    ``ThreadPoolExecutor`` workers are non-daemon and joined at
+    interpreter exit, so one wedged engine call (an unbudgeted request
+    stuck in a pathological search) would block process shutdown
+    forever — violating the clean-SIGTERM contract.  Daemon workers let
+    the process exit with in-flight work abandoned; bounded requests
+    never reach that point (their deadline aborts them typed).
+
+    ``submit`` is only ever called from the event-loop thread, so the
+    lazy thread spawning needs no locking.
+    """
+
+    def __init__(self, max_workers: int, thread_name_prefix: str) -> None:
+        self._work: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        self._max_workers = max_workers
+        self._prefix = thread_name_prefix
+        self._is_shutdown = False
+
+    def submit(self, fn, /, *args, **kwargs):
+        if self._is_shutdown:
+            raise RuntimeError("cannot submit to a shut-down executor")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._work.put((future, fn, args, kwargs))
+        if len(self._threads) < self._max_workers:
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"{self._prefix}-{len(self._threads)}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return future
+
+    def _worker(self) -> None:
+        while True:
+            item = self._work.get()
+            if item is None:
+                return
+            future, fn, args, kwargs = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:
+                future.set_exception(exc)
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False):
+        self._is_shutdown = True
+        for _ in self._threads:
+            self._work.put(None)
+
+
+class MACService:
+    """A long-lived serving process around one prepared engine.
+
+    Parameters
+    ----------
+    engine:
+        The warm :class:`MACEngine` every request runs against (its
+        caches are thread-safe; the service shares them across slots).
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start` / ``start_background``).
+    max_concurrency:
+        Engine calls executing at once (the thread-pool width).
+    queue_depth:
+        Admitted-but-waiting requests beyond ``max_concurrency``; the
+        next request is rejected with 429 + ``Retry-After``.
+    default_deadline:
+        Budget (seconds) stamped onto requests that carry none; ``None``
+        serves unbudgeted requests as-is.
+    """
+
+    def __init__(
+        self,
+        engine: MACEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_concurrency: int = 4,
+        queue_depth: int = 16,
+        default_deadline: float | None = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServiceError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if queue_depth < 0:
+            raise ServiceError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServiceError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.default_deadline = default_deadline
+        # The single engine-call pool: its width IS the concurrency
+        # bound — every search, including each batch item, runs on it.
+        self._pool = _DaemonExecutor(
+            max_workers=max_concurrency, thread_name_prefix="mac-service"
+        )
+        self._sem = asyncio.Semaphore(max_concurrency)
+        self._open_writers: set[asyncio.StreamWriter] = set()
+        self._busy_writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._thread_error: BaseException | None = None
+        self._started_at = time.monotonic()
+        # Admission/serving counters; touched only from the event loop.
+        self._in_flight = 0
+        self._served = 0
+        self._rejected = 0
+        self._errors = 0
+        self._deadline_exceeded = 0
+        self._requests_total = 0
+        self._latency_ewma = 0.1  # seconds; seeds the Retry-After estimate
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (inside a running event loop)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain open connections, release the pool.
+
+        Idle keep-alive connections are closed immediately (the handler
+        sees EOF and exits); handlers mid-request get a bounded grace
+        period to finish writing their response (the drain flag stops
+        them from waiting for another request afterwards), then any
+        stragglers are cut.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._open_writers):
+            if writer not in self._busy_writers:
+                writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        for writer in list(self._open_writers):
+            writer.close()
+        self._pool.shutdown(wait=False)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def run(self, on_started: Callable[[], None] | None = None) -> None:
+        """Serve until SIGINT/SIGTERM (the blocking CLI entry point)."""
+        asyncio.run(self._run_async(on_started))
+
+    async def _run_async(
+        self, on_started: Callable[[], None] | None
+    ) -> None:
+        await self.start()
+        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self._stop_event.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        if on_started is not None:
+            on_started()
+        await self._stop_event.wait()
+        await self.stop()
+
+    # -- background-thread lifecycle (tests, benchmarks, embedding) ----
+    def start_background(self) -> MACService:
+        """Run the server on a daemon thread; returns once it is bound."""
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._thread_main, args=(ready,),
+            name="mac-service-loop", daemon=True,
+        )
+        self._thread.start()
+        ready.wait()
+        if self._thread_error is not None:
+            raise self._thread_error
+        return self
+
+    def _thread_main(self, ready: threading.Event) -> None:
+        try:
+            asyncio.run(self._background_main(ready))
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._thread_error = exc
+            ready.set()
+
+    async def _background_main(self, ready: threading.Event) -> None:
+        try:
+            await self.start()
+        except BaseException as exc:
+            self._thread_error = exc
+            ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        ready.set()
+        await self._stop_event.wait()
+        await self.stop()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop a background server and join its thread."""
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> MACService:
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._open_writers.add(writer)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    break  # client closed between requests
+                except asyncio.LimitOverrunError:
+                    self._write_response(
+                        writer, 431,
+                        {"error": {"type": "ServiceError",
+                                   "message": "request headers too large"}},
+                        keep_alive=False,
+                    )
+                    break
+                method, path, keep_alive, length, bad = self._parse_head(head)
+                if bad is not None:
+                    self._write_response(writer, *bad, keep_alive=False)
+                    break
+                if length > MAX_BODY_BYTES:
+                    self._write_response(
+                        writer, 413,
+                        {"error": {"type": "ServiceError",
+                                   "message": "request body too large"}},
+                        keep_alive=False,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                self._busy_writers.add(writer)
+                try:
+                    status, payload, headers = await self._dispatch(
+                        method, path, body
+                    )
+                    self._write_response(
+                        writer, status, payload,
+                        keep_alive=keep_alive, extra_headers=headers,
+                    )
+                    await writer.drain()
+                finally:
+                    self._busy_writers.discard(writer)
+                if not keep_alive or self._draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            self._open_writers.discard(writer)
+            self._busy_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _parse_head(head: bytes):
+        """(method, path, keep_alive, content_length, error) of a request."""
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            bad = (400, {"error": {"type": "ServiceError",
+                                   "message": "malformed HTTP request line"}})
+            return "", "", False, 0, bad
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0]
+        connection = headers.get("connection", "").lower()
+        keep_alive = version.strip() == "HTTP/1.1" and connection != "close"
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+            if length < 0:
+                raise ValueError(length)
+        except ValueError:
+            bad = (400, {"error": {"type": "ServiceError",
+                                   "message": "malformed Content-Length"}})
+            return method, path, False, 0, bad
+        return method, path, keep_alive, length, None
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+        extra_headers: tuple = (),
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        )
+        for name, value in extra_headers:
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request; returns (status, payload, extra_headers)."""
+        self._requests_total += 1
+        routes = {
+            "/v1/search": ("POST", self._handle_search),
+            "/v1/batch": ("POST", self._handle_batch),
+            "/v1/explain": ("POST", self._handle_explain),
+            "/v1/healthz": ("GET", self._handle_healthz),
+            "/v1/metrics": ("GET", self._handle_metrics),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, {"error": {
+                "type": "ServiceError",
+                "message": f"unknown endpoint {path!r}; expected one of "
+                           f"{sorted(routes)}",
+            }}, ()
+        expected_method, handler = route
+        if method != expected_method:
+            return 405, {"error": {
+                "type": "ServiceError",
+                "message": f"{path} expects {expected_method}, got {method}",
+            }}, ()
+        try:
+            obj = None
+            if expected_method == "POST":
+                try:
+                    obj = json.loads(body.decode("utf-8")) if body else None
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise QueryError(f"request body is not valid JSON: {exc}")
+                if obj is None:
+                    raise QueryError("request body must be a JSON object")
+            payload = await handler(obj)
+            return 200, payload, ()
+        except ServiceOverloaded as exc:
+            self._rejected += 1
+            retry_after = max(1, int(round(exc.retry_after)))
+            return 429, {"error": error_to_wire(exc)}, (
+                ("Retry-After", str(retry_after)),
+            )
+        except DeadlineExceeded as exc:
+            self._deadline_exceeded += 1
+            return 504, {"error": error_to_wire(exc)}, ()
+        except ReproError as exc:
+            self._errors += 1
+            return 400, {"error": error_to_wire(exc)}, ()
+        except Exception as exc:  # pragma: no cover - defensive
+            self._errors += 1
+            traceback.print_exc(file=sys.stderr)
+            return 500, {"error": {
+                "type": "ServiceError",
+                "message": f"internal error: {type(exc).__name__}: {exc}",
+            }}, ()
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _retry_after(self) -> float:
+        """Backoff hint: queue drain time at the observed service rate."""
+        backlog = max(1, self._in_flight - self.max_concurrency + 1)
+        estimate = self._latency_ewma * backlog / self.max_concurrency
+        return max(1.0, estimate)
+
+    def _charge_queue_wait(self, request, waited: float):
+        """Subtract queue wait from the request's deadline budget."""
+        if request.deadline is None:
+            return request
+        remaining = request.deadline - waited
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"request spent its {request.deadline:g}s deadline in the "
+                f"admission queue ({waited:.3f}s queued)"
+            )
+        return replace(request, deadline=remaining)
+
+    def _stamp_deadline(self, request):
+        """Apply the server's default budget to unbudgeted requests."""
+        if request.deadline is None and self.default_deadline is not None:
+            return replace(request, deadline=self.default_deadline)
+        return request
+
+    def _charged_search(self, request, submitted_at: float):
+        """One engine call, charging pool-queue wait against the budget.
+
+        The admission semaphore counts *units* while the pool bounds
+        *engine calls*, so a search can hold a free semaphore slot yet
+        still queue behind a batch's items inside the pool.  Runs on a
+        worker thread: the wait between submission and pickup is
+        re-charged here, so a budget that died in the pool queue fails
+        typed before touching the engine.
+        """
+        waited = time.monotonic() - submitted_at
+        return self.engine.search(self._charge_queue_wait(request, waited))
+
+    async def _admit(
+        self, requests: list, runner: Callable, per_item: bool = False
+    ):
+        """``await runner(adjusted_requests)`` under admission control.
+
+        One admission unit = one semaphore slot; the runner dispatches
+        its engine calls onto the shared pool, so total engine-call
+        concurrency is bounded by ``max_concurrency`` across all units
+        (a batch never multiplies it).  Raises
+        :class:`ServiceOverloaded` when the bounded queue is full.  With
+        ``per_item=True`` (batch), a request whose deadline died in the
+        queue is handed to the runner as its ``DeadlineExceeded`` so the
+        other items still run; otherwise the charge failure propagates.
+        """
+        if self._in_flight >= self.max_concurrency + self.queue_depth:
+            raise ServiceOverloaded(
+                f"admission queue full ({self._in_flight} in flight, "
+                f"capacity {self.max_concurrency}+{self.queue_depth}); "
+                f"retry later",
+                retry_after=self._retry_after(),
+            )
+        self._in_flight += 1
+        enqueued = time.monotonic()
+        try:
+            async with self._sem:
+                waited = time.monotonic() - enqueued
+                adjusted = []
+                for request in requests:
+                    try:
+                        adjusted.append(
+                            self._charge_queue_wait(request, waited)
+                        )
+                    except DeadlineExceeded as exc:
+                        if not per_item:
+                            raise
+                        adjusted.append(exc)
+                start = time.monotonic()
+                result = await runner(adjusted)
+                elapsed = time.monotonic() - start
+                self._latency_ewma += 0.2 * (elapsed - self._latency_ewma)
+                self._served += 1
+                return result
+        finally:
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    async def _handle_search(self, obj) -> dict:
+        request = self._stamp_deadline(request_from_wire(obj))
+        loop = asyncio.get_running_loop()
+
+        async def run(reqs: list):
+            submitted = time.monotonic()
+            return await loop.run_in_executor(
+                self._pool,
+                lambda: result_to_wire(
+                    self._charged_search(reqs[0], submitted)
+                ),
+            )
+
+        wire = await self._admit([request], run)
+        return {"ok": True, "result": wire}
+
+    async def _handle_batch(self, obj) -> dict:
+        if not isinstance(obj, dict) or not isinstance(
+            obj.get("requests"), list
+        ):
+            raise QueryError(
+                "batch body must be {\"requests\": [...], \"workers\": n?}"
+            )
+        raw = obj["requests"]
+        if not raw:
+            raise QueryError("batch field 'requests' must be non-empty")
+        requests = []
+        for i, item in enumerate(raw):
+            try:
+                requests.append(
+                    self._stamp_deadline(request_from_wire(item))
+                )
+            except ReproError as exc:
+                raise QueryError(f"requests[{i}]: {exc}") from exc
+        workers = obj.get("workers")
+        if workers is not None and (
+            not isinstance(workers, int) or workers < 1
+        ):
+            raise QueryError(f"workers must be a positive integer, got "
+                             f"{workers!r}")
+        width = min(
+            workers if workers is not None else min(4, len(requests)),
+            self.max_concurrency,
+            len(requests),
+        )
+
+        def one(req, submitted_at: float) -> dict:
+            if isinstance(req, ReproError):
+                # this item's deadline died in the admission queue
+                return {"ok": False, "error": error_to_wire(req)}
+            try:
+                return {
+                    "ok": True,
+                    "result": result_to_wire(
+                        self._charged_search(req, submitted_at)
+                    ),
+                }
+            except ReproError as exc:
+                return {"ok": False, "error": error_to_wire(exc)}
+
+        async def run_batch(reqs: list) -> list[dict]:
+            # Items go through the *shared* pool, so a batch raises no
+            # extra engine-call concurrency beyond max_concurrency; the
+            # per-batch gate only caps this batch's share of the pool.
+            loop = asyncio.get_running_loop()
+            gate = asyncio.Semaphore(width)
+
+            async def guarded(req) -> dict:
+                async with gate:
+                    return await loop.run_in_executor(
+                        self._pool, one, req, time.monotonic()
+                    )
+
+            return list(await asyncio.gather(*(guarded(r) for r in reqs)))
+
+        items = await self._admit(requests, run_batch, per_item=True)
+        # Per-item failures ride inside a 200; count the budget blowers.
+        for item in items:
+            if not item["ok"] and item["error"]["type"] == "DeadlineExceeded":
+                self._deadline_exceeded += 1
+        return {"ok": True, "results": items}
+
+    async def _handle_explain(self, obj) -> dict:
+        request = request_from_wire(obj)
+        # explain touches no heavy computation — answer on the loop.
+        plan = self.engine.explain(request)
+        return {"ok": True, "plan": plan_to_wire(plan)}
+
+    async def _handle_healthz(self, _obj) -> dict:
+        tel = self.engine.telemetry()
+        return {
+            "status": "ok",
+            "version": __version__,
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_s": time.monotonic() - self._started_at,
+            "engine": {
+                "searches": tel.searches,
+                "cache_hits": tel.hits,
+                "cache_misses": tel.misses,
+            },
+            "admission": {
+                "in_flight": self._in_flight,
+                "capacity": self.max_concurrency,
+                "queue_depth": self.queue_depth,
+            },
+        }
+
+    async def _handle_metrics(self, _obj) -> dict:
+        return {
+            "service": {
+                "uptime_s": time.monotonic() - self._started_at,
+                "version": __version__,
+                "protocol_version": PROTOCOL_VERSION,
+                "max_concurrency": self.max_concurrency,
+                "queue_depth": self.queue_depth,
+                "default_deadline": self.default_deadline,
+                "in_flight": self._in_flight,
+                "served": self._served,
+                "rejected": self._rejected,
+                "errors": self._errors,
+                "deadline_exceeded": self._deadline_exceeded,
+                "requests_total": self._requests_total,
+                "latency_ewma_s": self._latency_ewma,
+            },
+            "engine": telemetry_to_wire(self.engine.telemetry()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MACService({self.url}, workers={self.max_concurrency}, "
+            f"queue={self.queue_depth}, served={self._served})"
+        )

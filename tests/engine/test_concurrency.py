@@ -1,0 +1,160 @@
+"""Concurrent engine access: threads hammering the shared stage caches.
+
+The serving API multiplexes many client threads onto one engine, so the
+staged caches must (a) return the same answers under interleaving as
+sequentially, and (b) keep their hit/miss accounting consistent — every
+lookup is either a hit or a miss, concurrent builds of one key are
+deduplicated (one miss, the waiters count as hits), and nothing is
+double-built or double-counted.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+
+REGIONS = [
+    PreferenceRegion([0.1, 0.2], [0.5, 0.4]),
+    PreferenceRegion([0.15, 0.25], [0.45, 0.35]),
+]
+
+
+def workload() -> list[MACRequest]:
+    """16 distinct feasible requests sharing stage-cache prefixes."""
+    requests = []
+    for k in (2, 3):
+        for t in (9.0, 12.0):
+            for algorithm in ("local", "global"):
+                for i, region in enumerate(REGIONS):
+                    requests.append(MACRequest.make(
+                        (2, 3, 6), k, t, region,
+                        algorithm=algorithm,
+                        label=f"k{k}-t{t:g}-{algorithm}-r{i}",
+                    ))
+    return requests
+
+
+def signature(result) -> list[list[int]]:
+    return [sorted(entry.best.members) for entry in result.partitions]
+
+
+@pytest.fixture
+def reference(paper_network):
+    """Sequential single-threaded answers from a pristine engine."""
+    engine = MACEngine(paper_network)
+    return {r.label: signature(engine.search(r)) for r in workload()}
+
+
+def hammer(target, threads: int) -> list:
+    failures: list = []
+    done = threading.Barrier(threads)
+
+    def run(worker_id: int) -> None:
+        try:
+            done.wait(timeout=30)  # maximize interleaving
+            target(worker_id)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append((worker_id, repr(exc)))
+
+    pool = [
+        threading.Thread(target=run, args=(i,)) for i in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    return failures
+
+
+class TestConcurrentSearch:
+    THREADS = 6
+    PASSES = 2
+
+    def test_equivalence_and_telemetry_accounting(
+        self, paper_network, reference
+    ):
+        engine = MACEngine(paper_network, result_cache_size=0)
+        requests = workload()
+        mismatches: list = []
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(worker_id)
+            for _ in range(self.PASSES):
+                shuffled = list(requests)
+                rng.shuffle(shuffled)
+                for request in shuffled:
+                    got = signature(engine.search(request))
+                    if got != reference[request.label]:
+                        mismatches.append((worker_id, request.label))
+
+        failures = hammer(worker, self.THREADS)
+        assert not failures
+        assert not mismatches
+
+        total = self.THREADS * self.PASSES * len(requests)
+        tel = engine.telemetry()
+        assert tel.searches == total
+        # Every lookup is accounted exactly once...
+        for stage in (tel.filter, tel.core, tel.dominance):
+            assert stage.hits + stage.misses == stage.requests
+        # ...the (k,t)-core stage fields every search (result cache off),
+        # the filter stage only the core *builders*, dominance every
+        # search whose core is feasible (all of them here).
+        assert tel.core.requests == total
+        assert tel.dominance.requests == total
+        assert tel.filter.requests == tel.core.misses
+        # Build dedup: concurrent requests for one key elect a single
+        # builder — misses equal the distinct key counts exactly (the
+        # caches are far larger than the workload; nothing evicts).
+        assert tel.filter.misses == len({r.filter_key for r in requests})
+        assert tel.core.misses == len({r.core_key for r in requests})
+        assert tel.dominance.misses == len(
+            {r.dominance_key for r in requests}
+        )
+        # Built once means build time accrued once per stage, not per hit.
+        assert tel.stage_seconds["filter"] > 0.0
+        assert tel.stage_seconds["dominance"] > 0.0
+
+    def test_result_cache_dedups_identical_requests(self, paper_network):
+        engine = MACEngine(paper_network)
+        request = workload()[0]
+
+        def worker(_worker_id: int) -> None:
+            engine.search(request)
+
+        failures = hammer(worker, 8)
+        assert not failures
+        tel = engine.telemetry()
+        assert tel.result.requests == 8
+        assert tel.result.misses == 1  # one build, 7 served from cache
+        assert tel.result.hits == 7
+
+
+class TestConcurrentBatch:
+    THREADS = 4
+
+    def test_parallel_batches_share_caches(self, paper_network, reference):
+        engine = MACEngine(paper_network, result_cache_size=0)
+        requests = workload()
+        mismatches: list = []
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(100 + worker_id)
+            shuffled = list(requests)
+            rng.shuffle(shuffled)
+            results = engine.search_batch(shuffled, workers=3)
+            for request, result in zip(shuffled, results):
+                if signature(result) != reference[request.label]:
+                    mismatches.append((worker_id, request.label))
+
+        failures = hammer(worker, self.THREADS)
+        assert not failures
+        assert not mismatches
+        tel = engine.telemetry()
+        assert tel.batches == self.THREADS
+        assert tel.searches == self.THREADS * len(requests)
+        assert tel.core.requests == tel.searches
+        assert tel.filter.requests == tel.core.misses
+        assert tel.core.misses == len({r.core_key for r in requests})

@@ -1,0 +1,185 @@
+"""Deadline budgets: typed expiry at every pipeline stage, no hangs."""
+
+import threading
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest
+from repro.deadline import Deadline
+from repro.engine.cache import LRUCache
+from repro.errors import DeadlineExceeded, QueryError
+
+
+def request(paper_region, **knobs):
+    return MACRequest.make((2, 3, 6), 3, 9.0, paper_region, **knobs)
+
+
+class TestDeadlineObject:
+    def test_generous_budget_passes(self):
+        deadline = Deadline(60.0)
+        deadline.check("anything")
+        assert not deadline.expired()
+        assert 0 < deadline.remaining() <= 60.0
+
+    def test_expired_budget_raises_with_stage(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded, match="during dominance"):
+            deadline.check("dominance")
+
+    def test_of_none_is_none(self):
+        assert Deadline.of(None) is None
+        assert Deadline.of(1.5).budget == 1.5
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestRequestValidation:
+    def test_deadline_must_be_positive_number(self, paper_region):
+        with pytest.raises(QueryError, match="deadline must be positive"):
+            request(paper_region, deadline=0)
+        with pytest.raises(QueryError, match="deadline must be positive"):
+            request(paper_region, deadline=-1.0)
+        with pytest.raises(QueryError, match="number of seconds"):
+            request(paper_region, deadline="soon")
+
+    def test_deadline_is_coerced_to_float(self, paper_region):
+        assert request(paper_region, deadline=2).deadline == 2.0
+
+    def test_deadline_excluded_from_identity(self, paper_region):
+        fast = request(paper_region, deadline=0.001)
+        slow = request(paper_region, deadline=100.0)
+        none = request(paper_region)
+        assert fast == slow == none
+        assert fast.result_key == none.result_key
+        assert hash(fast) == hash(none)
+
+
+class TestCacheWaiterDeadline:
+    def test_budgeted_waiter_fails_typed_behind_slow_build(self):
+        """A deadline-carrying cache waiter must not block on another
+        caller's unbudgeted build (the serving no-hang contract)."""
+        cache = LRUCache(4)
+        release = threading.Event()
+        started = threading.Event()
+
+        def builder() -> None:
+            def factory():
+                started.set()
+                release.wait(timeout=10)
+                return "built"
+
+            cache.get_or_create("key", factory)
+
+        thread = threading.Thread(target=builder)
+        thread.start()
+        try:
+            assert started.wait(timeout=5)
+            begin = time.perf_counter()
+            with pytest.raises(DeadlineExceeded, match="in-flight build"):
+                cache.get_or_create("key", lambda: "other", Deadline(0.2))
+            assert time.perf_counter() - begin < 2.0
+        finally:
+            release.set()
+            thread.join(timeout=5)
+        # the unbudgeted builder's value landed untouched
+        value, hit = cache.get_or_create("key", lambda: "fresh")
+        assert value == "built" and hit
+
+    def test_unbudgeted_waiter_still_waits_for_the_build(self):
+        cache = LRUCache(4)
+        started = threading.Event()
+
+        def builder() -> None:
+            def factory():
+                started.set()
+                time.sleep(0.2)
+                return "built"
+
+            cache.get_or_create("key", factory)
+
+        thread = threading.Thread(target=builder)
+        thread.start()
+        try:
+            assert started.wait(timeout=5)
+            value, hit = cache.get_or_create("key", lambda: "other")
+            assert value == "built" and hit
+        finally:
+            thread.join(timeout=5)
+
+
+class TestEngineDeadlines:
+    @pytest.mark.parametrize("algorithm", ["global", "local"])
+    def test_tiny_budget_fails_typed_and_fast(
+        self, paper_network, paper_region, algorithm
+    ):
+        engine = MACEngine(paper_network)
+        start = time.perf_counter()
+        with pytest.raises(DeadlineExceeded, match="deadline"):
+            engine.search(
+                request(paper_region, algorithm=algorithm, deadline=1e-9)
+            )
+        assert time.perf_counter() - start < 5.0
+        assert engine.telemetry().deadline_exceeded == 1
+
+    def test_generous_budget_answers_normally(
+        self, paper_network, paper_region
+    ):
+        engine = MACEngine(paper_network)
+        unbudgeted = engine.search(request(paper_region))
+        engine2 = MACEngine(paper_network)
+        budgeted = engine2.search(request(paper_region, deadline=300.0))
+        assert [sorted(e.best.members) for e in budgeted.partitions] == \
+            [sorted(e.best.members) for e in unbudgeted.partitions]
+        assert engine2.telemetry().deadline_exceeded == 0
+
+    def test_nothing_half_built_is_cached(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        with pytest.raises(DeadlineExceeded):
+            engine.search(request(paper_region, deadline=1e-9))
+        tel = engine.telemetry()
+        assert tel.filter.size == tel.core.size == tel.dominance.size == 0
+        assert tel.result.size == 0
+        # a retry with room succeeds and populates the caches cleanly
+        result = engine.search(request(paper_region, deadline=300.0))
+        assert result.partitions
+
+    def test_expiry_inside_search_phase(self, paper_network, paper_region):
+        # Warm every prepared stage first, so only the search loop can
+        # observe the (already expired) budget.
+        engine = MACEngine(paper_network, result_cache_size=0)
+        engine.warm(request(paper_region))
+        with pytest.raises(DeadlineExceeded, match="search"):
+            engine.search(
+                request(paper_region, algorithm="global", deadline=1e-9)
+            )
+
+    def test_result_cache_hit_beats_any_deadline(
+        self, paper_network, paper_region
+    ):
+        engine = MACEngine(paper_network)
+        engine.search(request(paper_region, algorithm="local"))
+        served = engine.search(
+            request(paper_region, algorithm="local", deadline=1e-9)
+        )
+        assert served.extra["engine"]["cache"] == {"result": "hit"}
+
+    def test_warm_honors_deadline(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        with pytest.raises(DeadlineExceeded):
+            engine.warm(request(paper_region, deadline=1e-9))
+
+    def test_batch_budgets_are_per_request(self, paper_network, paper_region):
+        engine = MACEngine(paper_network)
+        ok = request(paper_region, algorithm="local")
+        # search_batch propagates the first failure, like always
+        with pytest.raises(DeadlineExceeded):
+            engine.search_batch(
+                [ok, request(paper_region, algorithm="global",
+                             deadline=1e-9)],
+                workers=1,
+            )

@@ -53,6 +53,63 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "plan for" in out and "range filter" in out
 
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_search_json(self, capsys):
+        import json
+
+        code = main([
+            "search", "--dataset", "sf+slashdot", "--scale", "0.05",
+            "--k", "4", "--query-size", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]["k"] == 4
+        assert "partitions" in payload and "engine" in payload
+        for entry in payload["partitions"]:
+            assert sorted(entry) == ["communities", "weight"]
+
+    def test_search_explain_json(self, capsys):
+        import json
+
+        code = main([
+            "search", "--dataset", "sf+slashdot", "--scale", "0.05",
+            "--k", "4", "--query-size", "2", "--explain", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["searcher"] in ("GS-NC", "LS-NC")
+        assert "plan for" in payload["summary"]
+
+
+class TestServeCommand:
+    def test_bad_service_config_is_clean_error(self, capsys):
+        code = main([
+            "serve", "--dataset", "sf+slashdot", "--scale", "0.05",
+            "--workers", "0",
+        ])
+        assert code == 2
+        assert "max_concurrency" in capsys.readouterr().err
+
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--dataset", "fl+yelp", "--scale", "0.1",
+            "--snapshot", "idx/", "--port", "0", "--workers", "8",
+            "--queue-depth", "2", "--default-deadline", "1.5",
+        ])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.snapshot == "idx/"
+        assert args.workers == 8
+        assert args.default_deadline == 1.5
+
 
 class TestBatchCommand:
     BASE = ["batch", "--dataset", "sf+slashdot", "--scale", "0.05"]
