@@ -11,7 +11,12 @@ The end-to-end deployment path, exactly as an operator would run it:
    caches hit, engine stage_seconds all zero),
 4. exercise explain/batch/metrics and a deadline-carrying request
    (typed failure, not a hang),
-5. SIGTERM the server and assert a clean exit 0.
+5. SIGTERM the server and assert a clean exit 0,
+6. rebuild the snapshot uncompressed and repeat the boot with
+   ``--worker-processes 2``: the worker tier must serve its first
+   queries with zero index builds in *both* forked workers (merged
+   fleet ``stage_seconds`` exactly 0.0), report both workers alive in
+   ``/v1/healthz``, and shut down cleanly on SIGTERM too.
 
 Run from the repo root with ``PYTHONPATH=src``.
 """
@@ -55,6 +60,39 @@ def run_cli(*argv: str) -> None:
     )
 
 
+def boot_server(*argv: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *argv],
+        cwd=REPO, env=cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def wait_healthy(client: ServiceClient, server: subprocess.Popen) -> dict:
+    for _ in range(150):
+        try:
+            return client.healthz()
+        except Exception:
+            if server.poll() is not None:
+                out, err = server.communicate()
+                raise AssertionError(
+                    f"server died during boot:\n{out}\n{err}"
+                )
+            time.sleep(0.2)
+    raise AssertionError("server never became healthy")
+
+
+def stop_cleanly(server: subprocess.Popen) -> str:
+    if server.poll() is None:
+        server.send_signal(signal.SIGTERM)
+    out, err = server.communicate(timeout=30)
+    assert server.returncode == 0, (
+        f"server exit code {server.returncode}:\n{out}\n{err}"
+    )
+    assert "shutdown:" in out, out
+    return out
+
+
 def main() -> int:
     ds = datasets.load_dataset(DATASET, scale=SCALE, seed=SEED)
     d = ds.network.social.dimensionality
@@ -68,38 +106,28 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         snapshot = Path(tmp) / "idx"
         warm = Path(tmp) / "warm.jsonl"
-        warm.write_text(json.dumps({
-            "query": list(query), "k": K, "t": t,
-            "region": region_to_wire(region), "algorithm": "local",
-        }) + "\n")
+        # Two warm entries with different core keys: phase 2 routes them
+        # by affinity, so they exercise (potentially) different workers.
+        warm.write_text("".join(
+            json.dumps({
+                "query": list(query), "k": k, "t": t,
+                "region": region_to_wire(region), "algorithm": "local",
+            }) + "\n"
+            for k in (K, K - 1)
+        ))
         run_cli(
             "index", "build", "--dataset", DATASET, "--scale", str(SCALE),
             "--seed", str(SEED), "--out", str(snapshot), "--warm", str(warm),
         )
 
-        server = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--dataset", DATASET, "--scale", str(SCALE),
-             "--seed", str(SEED), "--snapshot", str(snapshot),
-             "--port", str(PORT), "--workers", "2"],
-            cwd=REPO, env=cli_env(),
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(snapshot),
+            "--port", str(PORT), "--workers", "2",
         )
         try:
             client = ServiceClient(port=PORT, timeout=30.0)
-            for _ in range(150):
-                try:
-                    health = client.healthz()
-                    break
-                except Exception:
-                    if server.poll() is not None:
-                        out, err = server.communicate()
-                        raise AssertionError(
-                            f"server died during boot:\n{out}\n{err}"
-                        )
-                    time.sleep(0.2)
-            else:
-                raise AssertionError("server never became healthy")
+            health = wait_healthy(client, server)
             assert health["status"] == "ok", health
 
             # The warm-start contract, observed through the wire: the
@@ -140,14 +168,65 @@ def main() -> int:
             assert final["engine"]["searches"] >= 3, final["engine"]
             client.close()
         finally:
-            if server.poll() is None:
-                server.send_signal(signal.SIGTERM)
-            out, err = server.communicate(timeout=30)
-        assert server.returncode == 0, (
-            f"server exit code {server.returncode}:\n{out}\n{err}"
-        )
-        assert "shutdown:" in out, out
+            out = stop_cleanly(server)
         print("clean shutdown confirmed:")
+        print(out)
+
+        # Phase 2: the worker tier.  Rebuild the snapshot uncompressed
+        # (the mmap-able layout the forked workers page-share) and boot
+        # the same deployment with two worker processes.
+        pool_snapshot = Path(tmp) / "idx-mmap"
+        run_cli(
+            "index", "build", "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--out", str(pool_snapshot),
+            "--warm", str(warm), "--no-compress",
+        )
+        pool_port = PORT + 1
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(pool_snapshot),
+            "--port", str(pool_port), "--worker-processes", "2",
+        )
+        try:
+            client = ServiceClient(port=pool_port, timeout=30.0)
+            health = wait_healthy(client, server)
+            assert health["status"] == "ok", health
+            workers = health["workers"]
+            assert workers["alive"] == 2 and workers["total"] == 2, workers
+            assert health["snapshot"]["fingerprint"], health
+            for entry in workers["workers"]:
+                assert entry["fingerprint"] == health["snapshot"]["fingerprint"]
+
+            # Zero index builds on first contact, in both forked
+            # workers: two requests with different core keys land on
+            # (potentially) different workers, each must be all-hit,
+            # and the *merged* fleet stage_seconds stays exactly 0.0 —
+            # if either worker had built anything, the merge would show
+            # it.
+            sibling = MACRequest.make(
+                query, K - 1, t, region, algorithm="local", label="smoke-b",
+            )
+            for probe in (request, sibling):
+                result = client.search(probe)
+                assert result.partitions, "warmed query answered empty"
+                info = result.extra["engine"]
+                for stage in ("filter", "core", "dominance"):
+                    assert info["timings"][stage] == 0.0, info["timings"]
+                    assert info["cache"][stage] == "hit", info["cache"]
+            metrics = client.metrics()
+            assert metrics["service"]["executor"] == "pool", metrics["service"]
+            assert metrics["service"]["worker_processes"] == 2
+            assert metrics["pool"]["restarts"] == 0, metrics["pool"]
+            stage_seconds = metrics["engine"]["stage_seconds"]
+            for stage in ("filter", "core", "dominance"):
+                assert stage_seconds[stage] == 0.0, stage_seconds
+            print("worker tier: first queries built nothing in either "
+                  f"worker (merged stage_seconds={stage_seconds})")
+            client.close()
+        finally:
+            out = stop_cleanly(server)
+        assert "worker process(es)" in out, out
+        print("worker-tier clean shutdown confirmed:")
         print(out)
     return 0
 

@@ -1,0 +1,210 @@
+"""Worker-tier benchmark: multi-process scaling of warm non-cached search.
+
+The serving bench (``bench_service.py``) tops out at the GIL: engine
+stages are pure Python + numpy, so its thread executor serializes and
+warm *search* throughput stays near single-core no matter how many
+clients arrive.  This bench measures the tier that escapes that
+ceiling — ``repro.pool``'s forked worker processes — by driving
+``WorkerPool.search_wire`` directly (no HTTP layer) with semantically
+unique requests, so every call pays the full search phase on warm
+prepared stages (result-cache misses), at worker widths 1/2/4.
+
+Because CI machines differ in core count, the committed floor is
+**parallel efficiency** — measured scaling at the widest tier divided
+by the cores that could have helped, ``min(width, cpus)`` — rather than
+a raw 4-vs-1 ratio: on a >= 4-core box the 0.625 full-run floor is
+exactly the "4 workers >= 2.5x one worker" contract, while on a
+single-core box (where no process tier can beat 1x) it degrades to
+"the tier must not cost throughput".  ``cpus`` is recorded in the
+output so the number can always be re-interpreted.
+
+Also probes the supervision contract under load: a SIGKILLed worker
+fails only its in-flight request (typed ``WorkerCrashed``), the slot
+refills from the pre-fork engine, and the pool never hangs.  Emits
+``BENCH_pool.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+from bench_service import DATASET, build_requests, distinct_variant
+
+from repro import MACEngine, datasets
+from repro.errors import WorkerCrashed
+from repro.pool import WorkerPool
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
+
+
+def drive_pool(pool, requests, threads: int, rounds: int) -> tuple[float, int]:
+    """(wall seconds, completed): client threads hammering the tier."""
+    errors: list = []
+    barrier = threading.Barrier(threads + 1)
+    mix = len(requests)
+
+    def worker(worker_id: int) -> None:
+        try:
+            barrier.wait(timeout=60)
+            for round_no in range(rounds):
+                for index, base in enumerate(requests):
+                    serial = (worker_id * rounds + round_no) * mix + index
+                    pool.search_wire(distinct_variant(base, serial))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append((worker_id, repr(exc)))
+
+    workers = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    for t in workers:
+        t.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for t in workers:
+        t.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"pool failures under load: {errors[:3]}")
+    return wall, threads * rounds * mix
+
+
+def probe_restart(engine, requests) -> dict:
+    """SIGKILL a worker mid-request: typed failure, prompt recovery."""
+    with WorkerPool(engine, 2) as pool:
+        in_flight = pool.submit_op(0, "sleep", 60.0)
+        victim_pid = pool.pool_wire()["workers"][0]["pid"]
+        killed_at = time.perf_counter()
+        os.kill(victim_pid, signal.SIGKILL)
+        try:
+            in_flight.result(timeout=30)
+            raise AssertionError("in-flight request on a killed worker "
+                                 "did not fail")
+        except WorkerCrashed:
+            failed_typed_s = time.perf_counter() - killed_at
+        while pool.workers_wire()["alive"] < 2:
+            time.sleep(0.02)
+            if time.perf_counter() - killed_at > 30:
+                raise AssertionError("worker slot was not refilled")
+        recovered_s = time.perf_counter() - killed_at
+        # The refilled worker serves real traffic.
+        pool.search_wire(distinct_variant(requests[0], 10_000_000))
+        assert pool.workers_wire()["restarts"] == 1
+    return {
+        "failed_typed_s": failed_typed_s,
+        "recovered_s": recovered_s,
+        "typed_error": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale, widths 1/2, no efficiency assertion (CI run)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--k", type=int, default=6)
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="request-mix repetitions per driver thread",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"result JSON path (default {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = 0.15 if args.quick else 0.5
+    if args.rounds is None:
+        args.rounds = 3 if args.quick else 12
+    widths = [1, 2] if args.quick else [1, 2, 4]
+    cpus = len(os.sched_getaffinity(0))
+
+    ds = datasets.load_dataset(DATASET, scale=args.scale, seed=7)
+    requests = build_requests(ds, args.scale, args.k)
+
+    # One parent engine, warmed once; every pool below forks from it, so
+    # all widths inherit identical prepared stages (and identical result
+    # caches — which the per-call distinct variants then bypass).
+    engine = MACEngine(ds.network, use_gtree=True)
+    for request in requests:
+        engine.search(request)
+
+    print(f"== pool: {DATASET} scale={args.scale} "
+          f"mix={len(requests)} requests, rounds={args.rounds}, "
+          f"cpus={cpus}")
+    tiers = {}
+    for width in widths:
+        threads = max(4, 2 * width)  # keep every worker's queue non-empty
+        with WorkerPool(engine, width) as pool:
+            wall, completed = drive_pool(
+                pool, requests, threads, args.rounds
+            )
+            stats = pool.pool_wire()
+        qps = completed / wall if wall else float("inf")
+        tiers[str(width)] = {
+            "workers": width,
+            "driver_threads": threads,
+            "requests": completed,
+            "wall_s": wall,
+            "qps": qps,
+            "dispatched": stats["dispatched"],
+        }
+        print(f"{width} worker(s)    {wall:9.3f}s for {completed} unique "
+              f"requests ({qps:8.1f} qps)")
+
+    base_qps = tiers[str(widths[0])]["qps"]
+    for tier in tiers.values():
+        tier["scaling"] = tier["qps"] / base_qps
+    max_width = widths[-1]
+    scaling_max = tiers[str(max_width)]["scaling"]
+    # Cores that could have helped the widest tier: the efficiency
+    # denominator that makes the floor portable across CI machines.
+    usable = min(max_width, cpus)
+    efficiency = scaling_max / usable
+
+    restart = probe_restart(engine, requests)
+    print(f"scaling        {scaling_max:.2f}x at {max_width} workers "
+          f"({cpus} cpu(s) -> efficiency {efficiency:.2f})")
+    print(f"restart probe  typed fail {restart['failed_typed_s'] * 1e3:.0f}ms, "
+          f"slot refilled {restart['recovered_s'] * 1e3:.0f}ms")
+
+    results = {
+        "dataset": DATASET,
+        "scale": args.scale,
+        "quick": args.quick,
+        "k": args.k,
+        "rounds": args.rounds,
+        "cpus": cpus,
+        "request_mix": [r.label for r in requests],
+        "tiers": tiers,
+        "max_width": max_width,
+        "scaling_max": scaling_max,
+        "efficiency": efficiency,
+        "supervised_restart": restart,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not args.quick:
+        # On >= 4 cores this is exactly "4 workers >= 2.5x one"; on
+        # narrower machines it asserts the tier costs nothing.
+        assert efficiency >= 0.625, (
+            f"parallel efficiency {efficiency:.2f} < 0.625 "
+            f"(scaling {scaling_max:.2f}x at {max_width} workers "
+            f"on {cpus} cpu(s))"
+        )
+        print("asserted: parallel efficiency >= 0.625 "
+              "(>= 2.5x at 4 workers on >= 4 cores)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

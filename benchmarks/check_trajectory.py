@@ -13,8 +13,9 @@ Usage (what the ``bench-trajectory`` CI job runs)::
 
     python bench_kernels.py --quick --output /tmp/kernels.json
     python bench_snapshot.py --quick --output /tmp/snapshot.json
+    python bench_pool.py --quick --output /tmp/pool.json
     python check_trajectory.py --kernels /tmp/kernels.json \
-        --snapshot /tmp/snapshot.json
+        --snapshot /tmp/snapshot.json --pool /tmp/pool.json
 """
 
 from __future__ import annotations
@@ -28,6 +29,10 @@ BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 #: The snapshot bench reports one ratio; this floors-table key names it.
 SNAPSHOT_KEY = "snapshot_warm_start"
+
+#: The pool bench reports parallel efficiency (scaling over usable
+#: cores); this floors-table key names it.
+POOL_KEY = "pool_efficiency"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--snapshot", type=Path, default=None,
         help="fresh bench_snapshot.py --quick output (optional)",
+    )
+    parser.add_argument(
+        "--pool", type=Path, default=None,
+        help="fresh bench_pool.py --quick output (optional)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -66,6 +75,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.snapshot is not None:
         snap = json.loads(args.snapshot.read_text())
         measured[SNAPSHOT_KEY] = snap["speedup"]
+    if args.pool is not None:
+        pool = json.loads(args.pool.read_text())
+        measured[POOL_KEY] = pool["efficiency"]
 
     failures = []
     print(f"== perf trajectory vs {args.baseline.name} "
@@ -75,6 +87,10 @@ def main(argv: list[str] | None = None) -> int:
             if name == SNAPSHOT_KEY and args.snapshot is None:
                 print(f"{name:24s} floor {floor:6.2f}x   skipped "
                       f"(no --snapshot)")
+                continue
+            if name == POOL_KEY and args.pool is None:
+                print(f"{name:24s} floor {floor:6.2f}x   skipped "
+                      f"(no --pool)")
                 continue
             failures.append(f"{name}: no measurement in the fresh run")
             print(f"{name:24s} floor {floor:6.2f}x   MISSING")

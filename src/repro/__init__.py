@@ -51,6 +51,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloaded,
     SnapshotError,
+    WorkerCrashed,
 )
 from repro.geometry.preference_learning import LearnedRegion
 from repro.geometry.region import PreferenceRegion
@@ -60,7 +61,7 @@ from repro.road.network import RoadNetwork, SpatialPoint
 from repro.social.network import SocialNetwork
 from repro.social.roadsocial import RoadSocialNetwork
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MACEngine",
@@ -94,5 +95,6 @@ __all__ = [
     "DeadlineExceeded",
     "ServiceError",
     "ServiceOverloaded",
+    "WorkerCrashed",
     "__version__",
 ]

@@ -17,7 +17,10 @@ Commands
               integrity (and, with ``--dataset``, its fingerprint).
 ``serve``   — boot the JSON-over-HTTP serving API on one warm engine
               (optionally warm-started from ``--snapshot``); query it
-              with ``repro.service.ServiceClient``.
+              with ``repro.service.ServiceClient``.  With
+              ``--worker-processes N`` the engine is forked into a
+              supervised tier of N worker processes (shared memory via
+              copy-on-write + mmap) instead of serving on threads.
 """
 
 from __future__ import annotations
@@ -351,7 +354,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     for request in requests:
         engine.warm(request)
         warmed += 1
-    manifest = engine.save(args.out)
+    manifest = engine.save(args.out, compress=not args.no_compress)
     comp = manifest["components"]
     size = sum(snapshot_info(args.out)["files"].values())
     print(f"snapshot written to {args.out}")
@@ -359,6 +362,9 @@ def cmd_index_build(args: argparse.Namespace) -> int:
           f"seed={args.seed} d={args.dimensions}")
     print(f"  fingerprint  {manifest['fingerprint']}")
     print(f"  backend      {manifest['backend']}")
+    print(f"  layout       "
+          + ("uncompressed (mmap-able)" if args.no_compress
+             else "compressed"))
     print(f"  g-tree       "
           + (f"{comp['gtree']['nodes']} nodes "
              f"({comp['gtree']['leaves']} leaves, "
@@ -422,39 +428,82 @@ def cmd_index_verify(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import MACService
 
+    if args.worker_processes < 0:
+        raise QueryError(
+            f"--worker-processes must be >= 0, got {args.worker_processes}"
+        )
+    pool_mode = args.worker_processes > 0
     ds = datasets.load_dataset(
         args.dataset, scale=args.scale, seed=args.seed,
         dimensions=args.dimensions,
     )
     if args.snapshot is not None:
-        engine = MACEngine.load(args.snapshot, ds.network)
+        # In pool mode, open uncompressed array payloads as read-only
+        # memory maps: all workers then share one page-cache copy
+        # (build the snapshot with `index build --no-compress`).
+        engine = MACEngine.load(args.snapshot, ds.network, mmap=pool_mode)
         source = f"snapshot {args.snapshot} (warm start)"
     else:
-        engine = MACEngine(ds.network, eager=args.eager)
-        source = "fresh engine" + (" (eager indexes)" if args.eager else "")
-    service = MACService(
-        engine,
-        host=args.host,
-        port=args.port,
-        max_concurrency=args.workers,
-        queue_depth=args.queue_depth,
-        default_deadline=args.default_deadline,
-    )
+        # Pool mode forces the eager build: indexes built before the
+        # fork are shared copy-on-write; built after, they would be
+        # rebuilt privately in every worker.
+        engine = MACEngine(ds.network, eager=args.eager or pool_mode)
+        source = "fresh engine" + (
+            " (eager indexes)" if args.eager or pool_mode else ""
+        )
+    pool = None
+    if pool_mode:
+        from repro.pool import PoolExecutor, WorkerPool
+
+        pool = WorkerPool(engine, args.worker_processes).start()
+        service = MACService(
+            executor=PoolExecutor(pool),
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline=args.default_deadline,
+        )
+    else:
+        service = MACService(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline=args.default_deadline,
+        )
 
     def banner() -> None:
         # Flushed line-by-line so a supervisor (or the CI smoke job) can
         # poll for readiness on stdout as well as on /v1/healthz.
         print(f"engine: {args.dataset} scale={args.scale} seed={args.seed} "
               f"d={args.dimensions}, {source}", flush=True)
+        tier = (
+            f"executor=pool worker_processes={args.worker_processes}"
+            if pool_mode else "executor=threads"
+        )
         print(f"serving on http://{service.host}:{service.port} "
-              f"(workers={args.workers}, queue_depth={args.queue_depth}, "
+              f"({tier}, workers={args.workers}, "
+              f"queue_depth={args.queue_depth}, "
               f"default_deadline={args.default_deadline})", flush=True)
 
     service.run(on_started=banner)
-    tel = engine.telemetry()
-    print(f"shutdown: {tel.searches} search(es) served, cache "
-          f"hits={tel.hits} misses={tel.misses}, "
-          f"deadline-exceeded={tel.deadline_exceeded}")
+    if pool is not None:
+        stats = pool.pool_wire()
+        served = sum(w.get("served", 0) for w in stats["workers"])
+        print(f"shutdown: {served} op(s) served across "
+              f"{stats['num_workers']} worker process(es), "
+              f"restarts={stats['restarts']}, "
+              f"crashed-requests={stats['crashed_requests']}, "
+              f"dispatched affinity={stats['dispatched']['affinity']} "
+              f"spill={stats['dispatched']['spill']} "
+              f"failover={stats['dispatched']['failover']}")
+    else:
+        tel = engine.telemetry()
+        print(f"shutdown: {tel.searches} search(es) served, cache "
+              f"hits={tel.hits} misses={tel.misses}, "
+              f"deadline-exceeded={tel.deadline_exceeded}")
     return 0
 
 
@@ -549,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the G-tree build (snapshot stage caches only)",
     )
     p_build.add_argument(
+        "--no-compress", action="store_true",
+        help="store array payloads uncompressed so `repro serve "
+             "--worker-processes N` can memory-map them (one shared "
+             "page-cache copy across all workers)",
+    )
+    p_build.add_argument(
         "--warm", default=None, metavar="JSONL",
         help="JSONL request file (batch format) whose filter/core/"
              "dominance stages are pre-built into the snapshot",
@@ -595,6 +650,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=4,
         help="engine calls executing at once (default 4)",
+    )
+    p_serve.add_argument(
+        "--worker-processes", type=int, default=0, metavar="N",
+        help="serve from N supervised worker processes forked from the "
+             "warm engine instead of in-process threads (0, the "
+             "default); processes escape the GIL for CPU-bound "
+             "searches and share index memory copy-on-write",
     )
     p_serve.add_argument(
         "--queue-depth", type=int, default=16,

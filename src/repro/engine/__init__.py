@@ -21,7 +21,12 @@ the migration table from the free-function API.
 """
 
 from repro.engine.cache import CacheStats, LRUCache
-from repro.engine.engine import EngineTelemetry, MACEngine, QueryPlan
+from repro.engine.engine import (
+    EngineTelemetry,
+    MACEngine,
+    QueryPlan,
+    merge_telemetry,
+)
 from repro.engine.request import MACRequest, region_key
 
 __all__ = [
@@ -31,5 +36,6 @@ __all__ = [
     "EngineTelemetry",
     "CacheStats",
     "LRUCache",
+    "merge_telemetry",
     "region_key",
 ]

@@ -153,6 +153,18 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping every cached entry.
+
+        Worker processes call this at boot so their telemetry reflects
+        only the traffic they served — the forked cache *contents*
+        (snapshot-warmed stages) stay, but the parent's accounting does
+        not leak into per-worker counters.
+        """
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
     @property
     def stats(self) -> CacheStats:
         with self._lock:

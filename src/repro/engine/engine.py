@@ -127,6 +127,48 @@ class EngineTelemetry:
         )
 
 
+def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
+    """Sum telemetry snapshots into one aggregate view.
+
+    The worker tier (:mod:`repro.pool`) runs one engine per process;
+    ``/v1/metrics`` reports the fleet as if it were a single engine by
+    merging the per-worker snapshots — counters and stage seconds add,
+    cache sizes add (each worker owns its LRU), and capacities add too
+    (the fleet-wide number of cacheable entries).
+    """
+    searches = batches = deadline_exceeded = 0
+    cache_sums = {
+        name: [0, 0, 0, 0]
+        for name in ("filter", "core", "dominance", "result")
+    }
+    stage_seconds: dict = {}
+    for tel in snapshots:
+        searches += tel.searches
+        batches += tel.batches
+        deadline_exceeded += tel.deadline_exceeded
+        for name, sums in cache_sums.items():
+            stats = getattr(tel, name)
+            sums[0] += stats.hits
+            sums[1] += stats.misses
+            sums[2] += stats.size
+            sums[3] += stats.capacity
+        for stage, seconds in tel.stage_seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+    merged_caches = {
+        name: CacheStats(
+            hits=sums[0], misses=sums[1], size=sums[2], capacity=sums[3]
+        )
+        for name, sums in cache_sums.items()
+    }
+    return EngineTelemetry(
+        searches=searches,
+        batches=batches,
+        stage_seconds=stage_seconds,
+        deadline_exceeded=deadline_exceeded,
+        **merged_caches,
+    )
+
+
 @dataclass
 class QueryPlan:
     """The resolved execution plan of a request (``explain`` output).
@@ -272,7 +314,7 @@ class MACEngine:
         if self._resolve_backend_selector(self._default_backend) == "flat":
             self.network.road.flat()
 
-    def save(self, path) -> dict:
+    def save(self, path, *, compress: bool = True) -> dict:
         """Persist the prepared state as an index snapshot at ``path``.
 
         Serializes everything expensive the engine has built so far —
@@ -281,10 +323,14 @@ class MACEngine:
         the format version, a content fingerprint of the network, and
         the engine configuration.  Returns the manifest dict.  See
         :mod:`repro.store` for the format and guarantees.
+
+        ``compress=False`` stores the array payloads uncompressed so
+        :meth:`load` can open them as shared read-only memory maps
+        (``mmap=True``) — the layout the worker tier serves from.
         """
         from repro.store.snapshot import save_snapshot
 
-        return save_snapshot(self, path)
+        return save_snapshot(self, path, compress=compress)
 
     @classmethod
     def load(cls, path, network: RoadSocialNetwork, **overrides) -> MACEngine:
@@ -297,7 +343,9 @@ class MACEngine:
         index builds — ``telemetry().stage_seconds`` stays 0.0 for the
         filter/core/dominance stages until a genuinely new key arrives.
         ``overrides`` are :class:`MACEngine` constructor keywords that
-        win over the recorded configuration.
+        win over the recorded configuration; ``mmap=True`` additionally
+        opens uncompressed array payloads as shared read-only memory
+        maps (see :func:`repro.store.snapshot.load_snapshot`).
         """
         from repro.store.snapshot import load_snapshot
 
@@ -332,6 +380,28 @@ class MACEngine:
             stage_seconds=stage_seconds,
             deadline_exceeded=deadline_exceeded,
         )
+
+    def reset_telemetry(self) -> None:
+        """Zero every counter while keeping all cached state.
+
+        A forked worker process inherits the parent's warm caches *and*
+        its counters; resetting at worker boot makes the per-process
+        telemetry mean "work served by this worker", so the merged
+        fleet view (:func:`merge_telemetry`) adds up cleanly.
+        """
+        with self._counter_lock:
+            self._searches = 0
+            self._batches = 0
+            self._deadline_exceeded = 0
+            self._stage_seconds = {stage: 0.0 for stage in STAGES}
+        for cache in (
+            self._filter_cache,
+            self._core_cache,
+            self._gd_cache,
+            self._result_cache,
+        ):
+            if cache is not None:
+                cache.reset_stats()
 
     def _account_stage_times(self, times: dict[str, float]) -> None:
         with self._counter_lock:

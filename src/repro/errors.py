@@ -53,3 +53,14 @@ class ServiceOverloaded(ServiceError):
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class WorkerCrashed(ServiceError):
+    """A worker process died while this request was in flight (HTTP 503).
+
+    Raised by the worker tier (:mod:`repro.pool`) when the process a
+    request was dispatched to exits before answering — crash, SIGKILL,
+    or OOM kill.  Only the requests in flight on the dead worker fail;
+    the supervisor restarts it from the pre-fork engine, so a retry is
+    expected to succeed.  Queries are pure, which makes that retry safe.
+    """

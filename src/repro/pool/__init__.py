@@ -1,0 +1,17 @@
+"""repro.pool — the multi-process worker tier.
+
+N worker processes forked from one warm engine (copy-on-write memory,
+optionally mmap-shared snapshot arrays), a dispatcher that routes by
+stage-cache affinity with least-loaded spillover, and a supervisor that
+restarts dead workers and fails only their in-flight requests with a
+typed :class:`~repro.errors.WorkerCrashed`.
+
+Escapes the GIL ceiling of ``repro.service``'s default thread executor:
+search stages are pure Python + numpy, so threads serialize on the
+interpreter lock while processes scale with cores.
+"""
+
+from repro.pool.executor import PoolExecutor
+from repro.pool.pool import WorkerPool
+
+__all__ = ["PoolExecutor", "WorkerPool"]

@@ -1,0 +1,51 @@
+"""`PoolExecutor`: adapts a :class:`WorkerPool` to the service executor
+protocol, so :class:`~repro.service.MACService` can serve from a
+multi-process tier exactly as it serves from an in-process engine.
+"""
+
+from __future__ import annotations
+
+from repro.engine.request import MACRequest
+from repro.pool.pool import WorkerPool
+
+
+class PoolExecutor:
+    """Executor over a worker-process tier.
+
+    ``remote`` is true: every call crosses a process boundary, so the
+    server runs them on its thread pool instead of the event loop.
+    ``engine`` is ``None`` by design — in pool mode the parent's engine
+    exists only to be forked, never to answer queries.
+    """
+
+    kind = "pool"
+    remote = True
+    engine = None
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+
+    @property
+    def num_workers(self) -> int:
+        return self.pool.num_workers
+
+    def search_wire(self, request: MACRequest) -> dict:
+        return self.pool.search_wire(request)
+
+    def explain_wire(self, request: MACRequest) -> dict:
+        return self.pool.explain_wire(request)
+
+    def telemetry_wire(self) -> dict:
+        return self.pool.telemetry_wire()
+
+    def fingerprint(self) -> str | None:
+        return self.pool.fingerprint
+
+    def workers_wire(self) -> dict:
+        return self.pool.workers_wire()
+
+    def pool_wire(self) -> dict:
+        return self.pool.pool_wire()
+
+    def close(self) -> None:
+        self.pool.stop()

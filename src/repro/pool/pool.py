@@ -1,0 +1,542 @@
+"""`WorkerPool`: dispatcher + supervisor over N forked engine processes.
+
+The parent loads (or is handed) one warm :class:`~repro.engine.MACEngine`
+and forks ``num_workers`` children from it.  Fork gives copy-on-write
+sharing of everything the engine already built — G-tree matrices, CSR
+views, coreness arrays, warmed stage caches — so N workers do not pay
+N× memory; snapshot payloads loaded with ``mmap=True`` are additionally
+file-backed and page-shared.  The parent engine is never queried in
+pool mode (its locks are free at every fork, which is what makes
+restart-time forking from a threaded parent safe).
+
+**Affinity dispatch.**  A request's affinity worker is a stable hash of
+its ``(Q, k, t)`` stage-cache prefix, so repeats and siblings of a query
+land on the worker whose per-process LRU caches already hold their
+filter/core/dominance state.  When the affinity target's queue is
+``spill_depth`` deep and a strictly shallower worker exists, the request
+spills to the least-loaded worker — latency beats cache locality once a
+queue forms.  A dead target fails over the same way.
+
+**Supervision.**  A supervisor thread waits on the process sentinels.
+When a worker dies (crash, SIGKILL, OOM), only the requests in flight on
+that worker fail — typed :class:`~repro.errors.WorkerCrashed` — and a
+replacement is forked from the parent engine, with exponential backoff
+if a worker crash-loops at boot.  Requests on other workers are
+untouched; the pool never hangs on a dead process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import warnings
+import zlib
+from concurrent.futures import Future
+from multiprocessing.connection import wait as _sentinel_wait
+
+from repro.engine import merge_telemetry
+from repro.engine.request import MACRequest
+from repro.errors import ServiceError, WorkerCrashed
+from repro.pool.worker import worker_main
+from repro.service.protocol import (
+    error_from_wire,
+    telemetry_from_wire,
+    telemetry_to_wire,
+)
+from repro.store.fingerprint import network_fingerprint
+
+
+class _PipeDied(Exception):
+    """Internal: a send failed because the worker's pipe is gone."""
+
+
+class _Worker:
+    """Parent-side state of the process currently filling one slot."""
+
+    def __init__(self, slot: int, process, conn) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.pending: dict[int, Future] = {}
+        self.ready = threading.Event()
+        self.info: dict = {}
+        self.alive = True
+        self.started_at = time.monotonic()
+        self.served = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+
+class WorkerPool:
+    """A supervised tier of ``num_workers`` engine processes.
+
+    Parameters
+    ----------
+    engine:
+        The warm parent engine every worker is forked from.  In pool
+        mode the parent must not run searches on it — it exists to be
+        forked (copy-on-write) at start and on every restart.
+    num_workers:
+        Worker processes (slots).  Slots are stable across restarts, so
+        affinity routing survives a crash.
+    spill_depth:
+        In-flight requests on the affinity worker before new arrivals
+        spill to the least-loaded worker.
+    start_timeout:
+        Seconds to wait for every worker's ready handshake in
+        :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        num_workers: int,
+        *,
+        spill_depth: int = 4,
+        start_timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        if spill_depth < 1:
+            raise ServiceError(
+                f"spill_depth must be >= 1, got {spill_depth}"
+            )
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-unix
+            raise ServiceError(
+                "the worker tier needs the fork start method (unix only); "
+                "serve with --worker-processes 0 (threads) instead"
+            ) from exc
+        self._engine = engine
+        self.num_workers = num_workers
+        self.spill_depth = spill_depth
+        self.start_timeout = start_timeout
+        self._fingerprint: str | None = None
+        self._lock = threading.Lock()
+        self._workers: list[_Worker | None] = [None] * num_workers
+        self._req_ids = itertools.count(1)
+        self._started = False
+        self._stopping = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._restarts = [0] * num_workers
+        self._fast_crashes = 0
+        self._crashed_requests = 0
+        self._dispatched = {"affinity": 0, "spill": 0, "failover": 0}
+        self._last_tel: dict[int, dict] = {}
+        self._retired_tel = None  # EngineTelemetry of dead workers
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str | None:
+        """Content fingerprint of the parent engine's network."""
+        return self._fingerprint
+
+    def start(self) -> WorkerPool:
+        """Fork the workers, wait for their ready handshakes, supervise."""
+        if self._started:
+            raise ServiceError("worker pool already started")
+        self._started = True
+        self._started_at = time.monotonic()
+        self._fingerprint = network_fingerprint(self._engine.network)
+        for slot in range(self.num_workers):
+            self._spawn(slot)
+        deadline = time.monotonic() + self.start_timeout
+        for worker in list(self._workers):
+            remaining = max(0.0, deadline - time.monotonic())
+            if not worker.ready.wait(timeout=remaining):
+                self.stop()
+                raise ServiceError(
+                    f"worker {worker.slot} did not become ready within "
+                    f"{self.start_timeout:g}s"
+                )
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="mac-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def _spawn(self, slot: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        with warnings.catch_warnings():
+            # Python 3.12+ warns on fork() from a multi-threaded
+            # process.  Safe here by construction: the child touches
+            # only the pre-fork engine — whose locks the parent is not
+            # holding, because the parent never searches in pool mode —
+            # and its own pipe end.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(slot, child_conn, self._engine, self._fingerprint),
+                name=f"mac-pool-worker-{slot}",
+                daemon=True,
+            )
+            process.start()
+        child_conn.close()
+        worker = _Worker(slot, process, parent_conn)
+        with self._lock:
+            self._workers[slot] = worker
+        threading.Thread(
+            target=self._receive, args=(worker,),
+            name=f"mac-pool-recv-{slot}", daemon=True,
+        ).start()
+        return worker
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain and stop every worker; fail leftover in-flight requests.
+
+        Workers serve their queued ops before the stop sentinel (the
+        pipe is FIFO), so a normal stop loses nothing; a wedged worker
+        is terminated after ``timeout`` and its pending requests fail
+        with :class:`WorkerCrashed`.  Idempotent.
+        """
+        self._stopping.set()
+        with self._lock:
+            workers = [w for w in self._workers if w is not None]
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                with worker.send_lock:
+                    worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.process.join(
+                timeout=max(0.1, deadline - time.monotonic())
+            )
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+        error = WorkerCrashed(
+            "the worker pool was stopped with this request in flight"
+        )
+        leftovers: list[Future] = []
+        with self._lock:
+            for worker in workers:
+                worker.alive = False
+                leftovers.extend(worker.pending.values())
+                worker.pending.clear()
+        for future in leftovers:
+            if not future.done():
+                future.set_exception(error)
+        for worker in workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+            self._supervisor = None
+
+    def __enter__(self) -> WorkerPool:
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # receive / supervise
+    # ------------------------------------------------------------------
+    def _receive(self, worker: _Worker) -> None:
+        while True:
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # worker exited, or the pool closed the pipe
+            if message[0] == "__ready__":
+                worker.info = message[1]
+                worker.ready.set()
+                continue
+            req_id, ok, payload = message
+            with self._lock:
+                future = worker.pending.pop(req_id, None)
+                worker.served += 1
+            if future is None:
+                continue  # abandoned (e.g. a timed-out telemetry poll)
+            if ok:
+                future.set_result(payload)
+            else:
+                future.set_exception(error_from_wire(payload))
+
+    def _supervise(self) -> None:
+        while not self._stopping.is_set():
+            with self._lock:
+                sentinels = {
+                    w.process.sentinel: w
+                    for w in self._workers
+                    if w is not None and w.alive
+                }
+            if not sentinels:
+                self._stopping.wait(0.2)
+                continue
+            for sentinel in _sentinel_wait(list(sentinels), timeout=0.5):
+                self._on_death(sentinels[sentinel])
+
+    def _on_death(self, worker: _Worker) -> None:
+        """Fail the dead worker's in-flight requests; fork a replacement."""
+        with self._lock:
+            current = self._workers[worker.slot]
+            if not worker.alive or current is not worker:
+                return  # already handled (send-failure path raced us)
+            worker.alive = False
+            pending = list(worker.pending.values())
+            worker.pending.clear()
+            self._crashed_requests += len(pending)
+            last_tel = self._last_tel.pop(worker.slot, None)
+        if last_tel is not None:
+            # Keep the dead worker's last-seen counters in the merged
+            # fleet telemetry so restarts do not march totals backwards.
+            tel = telemetry_from_wire(last_tel)
+            self._retired_tel = (
+                tel if self._retired_tel is None
+                else merge_telemetry([self._retired_tel, tel])
+            )
+        worker.process.join(timeout=1.0)
+        error = WorkerCrashed(
+            f"worker {worker.slot} "
+            f"(pid {worker.info.get('pid', worker.process.pid)}) died with "
+            f"exit code {worker.process.exitcode} while the request was in "
+            f"flight; the supervisor is restarting it — a retry is safe"
+        )
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._stopping.is_set():
+            return
+        uptime = time.monotonic() - worker.started_at
+        if uptime < 1.0:
+            # Crash loop (e.g. a poisoned engine): back off exponentially
+            # instead of fork-bombing; a worker that survived >= 1s
+            # resets the penalty.
+            self._fast_crashes = min(self._fast_crashes + 1, 6)
+            self._stopping.wait(min(0.05 * 2 ** self._fast_crashes, 2.0))
+        else:
+            self._fast_crashes = 0
+        if self._stopping.is_set():
+            return
+        self._restarts[worker.slot] += 1
+        self._spawn(worker.slot)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def route_for(self, request: MACRequest) -> int:
+        """The affinity slot of a request: stable hash of its core key.
+
+        ``(Q, k, t)`` is the prefix every stage-cache key extends, so
+        all requests sharing prepared state share a slot — their
+        worker's LRU caches stay hot.
+        """
+        return zlib.crc32(repr(request.core_key).encode()) % self.num_workers
+
+    def _choose(self, request: MACRequest) -> _Worker:
+        affinity = self.route_for(request)
+        with self._lock:
+            alive = [
+                w for w in self._workers if w is not None and w.alive
+            ]
+            if not alive:
+                raise WorkerCrashed(
+                    f"all {self.num_workers} worker process(es) are down; "
+                    f"the supervisor is restarting them — retry shortly"
+                )
+            least = min(alive, key=lambda w: (w.depth, w.slot))
+            target = self._workers[affinity]
+            if target is None or not target.alive:
+                self._dispatched["failover"] += 1
+                return least
+            if (
+                target.depth >= self.spill_depth
+                and least.depth < target.depth
+            ):
+                self._dispatched["spill"] += 1
+                return least
+            self._dispatched["affinity"] += 1
+            return target
+
+    def _submit(self, worker: _Worker, op: str, payload) -> Future:
+        req_id = next(self._req_ids)
+        future: Future = Future()
+        with self._lock:
+            if not worker.alive:
+                raise _PipeDied()
+            worker.pending[req_id] = future
+        try:
+            with worker.send_lock:
+                worker.conn.send((req_id, op, payload))
+        except (OSError, ValueError) as exc:
+            # The pipe died under us: handle the crash immediately
+            # instead of waiting for the supervisor's sentinel pass.
+            with self._lock:
+                worker.pending.pop(req_id, None)
+            self._on_death(worker)
+            raise _PipeDied() from exc
+        return future
+
+    def _dispatch(self, op: str, payload, request: MACRequest) -> Future:
+        for _ in range(self.num_workers + 1):
+            worker = self._choose(request)
+            try:
+                return self._submit(worker, op, payload)
+            except _PipeDied:
+                continue  # that worker just died; route around it
+        raise WorkerCrashed(
+            f"could not dispatch to any of {self.num_workers} worker "
+            f"process(es); the supervisor is restarting them"
+        )
+
+    def submit_op(self, slot: int, op: str, payload=None) -> Future:
+        """Send a raw op to one specific worker (introspection surface).
+
+        ``telemetry``/``ping`` are the production users; ``sleep`` and
+        ``exit`` exist for supervision tests and benchmarks.  Searches
+        go through :meth:`search_wire`, which routes by affinity.
+        """
+        with self._lock:
+            worker = self._workers[slot]
+            if worker is None or not worker.alive:
+                raise WorkerCrashed(f"worker {slot} is not running")
+        try:
+            return self._submit(worker, op, payload)
+        except _PipeDied as exc:
+            raise WorkerCrashed(
+                f"worker {slot} died while accepting {op!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # the executor surface
+    # ------------------------------------------------------------------
+    def search_wire(self, request: MACRequest) -> dict:
+        """Run one search on the tier; returns the result in wire form.
+
+        Blocks until the routed worker answers.  If that worker dies
+        first, raises the typed :class:`WorkerCrashed` the supervisor
+        set — never hangs on a dead process.
+        """
+        future = self._dispatch(
+            "search", (request, time.monotonic()), request
+        )
+        return future.result()
+
+    def explain_wire(self, request: MACRequest) -> dict:
+        """Resolve a plan on the request's affinity worker (wire form)."""
+        return self._dispatch("explain", request, request).result()
+
+    def telemetry_wire(self, timeout: float = 1.0) -> dict:
+        """Merged engine telemetry across the fleet, in wire form.
+
+        Polls every live worker concurrently; one that is busy past
+        ``timeout`` (or mid-restart) contributes its last collected
+        snapshot instead, so metrics stay responsive under load.  Dead
+        workers' final snapshots stay folded in (counters are totals
+        for the tier's lifetime, not just the current processes).
+        """
+        with self._lock:
+            workers = [
+                w for w in self._workers if w is not None and w.alive
+            ]
+        futures: dict[int, Future] = {}
+        for worker in workers:
+            try:
+                futures[worker.slot] = self._submit(
+                    worker, "telemetry", None
+                )
+            except _PipeDied:
+                continue
+        deadline = time.monotonic() + timeout
+        for slot, future in futures.items():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                self._last_tel[slot] = future.result(timeout=remaining)
+            except Exception:
+                pass  # busy or just crashed: merge its last snapshot
+        snapshots = [
+            telemetry_from_wire(t) for t in self._last_tel.values()
+        ]
+        if self._retired_tel is not None:
+            snapshots.append(self._retired_tel)
+        return telemetry_to_wire(merge_telemetry(snapshots))
+
+    def workers_wire(self) -> dict:
+        """Liveness summary for ``/v1/healthz``: who is up, who restarted."""
+        with self._lock:
+            entries = []
+            alive = 0
+            for slot, worker in enumerate(self._workers):
+                up = worker is not None and worker.alive
+                alive += 1 if up else 0
+                entries.append({
+                    "worker": slot,
+                    "alive": up,
+                    "pid": worker.info.get("pid") if worker else None,
+                    "restarts": self._restarts[slot],
+                    "fingerprint": (
+                        worker.info.get("fingerprint") if worker else None
+                    ),
+                })
+            return {
+                "alive": alive,
+                "total": self.num_workers,
+                "restarts": sum(self._restarts),
+                "workers": entries,
+            }
+
+    def pool_wire(self) -> dict:
+        """Dispatch + per-worker serving stats for ``/v1/metrics``."""
+        now = time.monotonic()
+        with self._lock:
+            entries = []
+            for slot, worker in enumerate(self._workers):
+                if worker is None:
+                    entries.append({
+                        "worker": slot, "alive": False,
+                        "restarts": self._restarts[slot],
+                    })
+                    continue
+                uptime = max(now - worker.started_at, 1e-9)
+                entries.append({
+                    "worker": slot,
+                    "alive": worker.alive,
+                    "pid": worker.info.get("pid"),
+                    "restarts": self._restarts[slot],
+                    "queue_depth": worker.depth,
+                    "served": worker.served,
+                    "qps": worker.served / uptime,
+                    "uptime_s": uptime,
+                })
+            return {
+                "num_workers": self.num_workers,
+                "spill_depth": self.spill_depth,
+                "restarts": sum(self._restarts),
+                "crashed_requests": self._crashed_requests,
+                "dispatched": dict(self._dispatched),
+                "workers": entries,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        w = self.workers_wire()
+        return (
+            f"WorkerPool(workers={w['alive']}/{w['total']}, "
+            f"restarts={w['restarts']})"
+        )

@@ -1,0 +1,115 @@
+"""The worker-process side of the :mod:`repro.pool` tier.
+
+Each worker is a forked child that inherited the parent's fully-loaded
+:class:`~repro.engine.MACEngine` — G-tree, CSR views, warm stage caches
+— via copy-on-write memory, with the snapshot's array payloads
+additionally backed by shared read-only memory maps when the parent
+loaded with ``mmap=True``.  The worker serves ops from one duplex pipe,
+single-threaded and strictly FIFO: ``(req_id, op, payload)`` in,
+``(req_id, ok, wire_payload)`` out.  Replies are wire-form dicts
+(:func:`result_to_wire` et al.) so they pickle cheaply and the parent
+can forward them to HTTP clients without touching engine objects.
+
+A worker never initiates shutdown: it exits on the ``None`` sentinel
+(graceful stop), on pipe EOF (the dispatcher went away), or abruptly
+when crashed/killed — which the parent-side supervisor detects through
+the process sentinel.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import replace
+
+from repro.errors import DeadlineExceeded, ReproError, ServiceError
+from repro.service.protocol import (
+    error_to_wire,
+    plan_to_wire,
+    result_to_wire,
+    telemetry_to_wire,
+)
+
+
+def _charged_search(engine, request, submitted_at: float):
+    """Run one search, charging cross-process queue wait to the budget.
+
+    ``submitted_at`` is the dispatcher's ``time.monotonic()`` at send
+    time — comparable across processes on the same host — so a budgeted
+    request that expired while queued in the worker's pipe fails typed
+    before touching the engine, mirroring the server's admission-queue
+    charge.
+    """
+    if request.deadline is not None:
+        waited = time.monotonic() - submitted_at
+        remaining = request.deadline - waited
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"request spent its {request.deadline:g}s deadline queued "
+                f"for a worker process ({waited:.3f}s queued)"
+            )
+        request = replace(request, deadline=remaining)
+    return engine.search(request)
+
+
+def _handle(worker_id: int, engine, op: str, payload):
+    if op == "search":
+        request, submitted_at = payload
+        return result_to_wire(_charged_search(engine, request, submitted_at))
+    if op == "explain":
+        return plan_to_wire(engine.explain(payload))
+    if op == "telemetry":
+        return telemetry_to_wire(engine.telemetry())
+    if op == "ping":
+        return {"worker": worker_id, "pid": os.getpid()}
+    if op == "sleep":
+        # Supervision hook for tests and benchmarks: occupy this worker
+        # for a deterministic window (e.g. to SIGKILL it mid-request).
+        time.sleep(float(payload))
+        return {"slept": float(payload)}
+    if op == "exit":
+        # Supervision hook: die abruptly, skipping all cleanup — the
+        # scriptable stand-in for a segfault or OOM kill.
+        os._exit(int(payload))
+    raise ServiceError(f"unknown worker op {op!r}")
+
+
+def worker_main(worker_id: int, conn, engine, fingerprint: str) -> None:
+    """Serve ops from the dispatcher pipe until EOF or the stop sentinel.
+
+    Runs inside the forked child.  Telemetry counters are reset at boot
+    (the inherited cache *contents* stay warm) so this worker's numbers
+    mean "traffic served here" and the parent can merge them cleanly.
+    """
+    # Ctrl-C goes to the whole foreground process group; orderly
+    # shutdown is the dispatcher's job (stop sentinel, then SIGTERM).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    engine.reset_telemetry()
+    conn.send((
+        "__ready__",
+        {"worker": worker_id, "pid": os.getpid(), "fingerprint": fingerprint},
+    ))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # dispatcher went away; nothing left to serve
+        if message is None:
+            break
+        req_id, op, payload = message
+        try:
+            reply = (req_id, True, _handle(worker_id, engine, op, payload))
+        except ReproError as exc:
+            reply = (req_id, False, error_to_wire(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            reply = (req_id, False, {
+                "type": "ServiceError",
+                "message": f"worker {worker_id} failed on {op!r}: "
+                           f"{type(exc).__name__}: {exc}",
+            })
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()

@@ -17,6 +17,7 @@ See ENGINE.md ("Serving") for the protocol reference and quickstart.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.executor import EngineExecutor
 from repro.service.protocol import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
@@ -28,6 +29,7 @@ from repro.service.server import MACService
 __all__ = [
     "MACService",
     "ServiceClient",
+    "EngineExecutor",
     "ServiceResult",
     "ServicePlan",
     "DEFAULT_PORT",

@@ -49,10 +49,16 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = 120.0,
+        retry_resets: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Retry once when the connection is reset mid-response.  MAC
+        #: queries are pure (read-only over immutable indexes), so the
+        #: replay is idempotent; the reset signature is what a worker
+        #: crash in the server's process tier looks like from here.
+        self.retry_resets = retry_resets
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -129,6 +135,17 @@ class ServiceClient:
                 ) from exc
             except (http.client.HTTPException, OSError) as exc:
                 self.close()
+                if (
+                    isinstance(exc, (ConnectionResetError, BrokenPipeError))
+                    and self.retry_resets
+                    and attempt == 1
+                ):
+                    # A reset mid-response is the restart window of the
+                    # server's worker tier (or a server bounce).  The
+                    # request may have executed, but queries are pure —
+                    # one replay trades at worst duplicate engine work
+                    # for not failing a retriable request.
+                    continue
                 raise ServiceError(
                     f"connection to MAC service at {self.host}:{self.port} "
                     f"was lost while awaiting the response: {exc}"

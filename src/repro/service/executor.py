@@ -1,0 +1,65 @@
+"""`EngineExecutor`: the in-process (threads) execution backend.
+
+:class:`~repro.service.MACService` talks to its compute tier through a
+small executor protocol — ``search_wire`` / ``explain_wire`` /
+``telemetry_wire`` plus liveness introspection — so the same server
+fronts either one shared engine on a thread pool (this module, the
+default) or a multi-process worker tier
+(:class:`repro.pool.PoolExecutor`, ``repro serve --worker-processes N``).
+"""
+
+from __future__ import annotations
+
+from repro.engine.request import MACRequest
+from repro.service.protocol import (
+    plan_to_wire,
+    result_to_wire,
+    telemetry_to_wire,
+)
+
+
+class EngineExecutor:
+    """Executor over one in-process engine shared across server threads.
+
+    ``remote`` is false: calls run in the server process, so the server
+    keeps dispatching them on its bounded engine-call thread pool and
+    answering ``explain`` directly on the event loop.
+    """
+
+    kind = "threads"
+    remote = False
+    num_workers = 0
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self._fingerprint: str | None = None
+
+    def search_wire(self, request: MACRequest) -> dict:
+        return result_to_wire(self.engine.search(request))
+
+    def explain_wire(self, request: MACRequest) -> dict:
+        return plan_to_wire(self.engine.explain(request))
+
+    def telemetry_wire(self) -> dict:
+        return telemetry_to_wire(self.engine.telemetry())
+
+    def fingerprint(self) -> str | None:
+        if self._fingerprint is None:
+            try:
+                from repro.store.fingerprint import network_fingerprint
+
+                self._fingerprint = network_fingerprint(self.engine.network)
+            except Exception:
+                # Duck-typed test engines need not carry a real network;
+                # the fingerprint is informational, never load-bearing.
+                return None
+        return self._fingerprint
+
+    def workers_wire(self) -> dict:
+        return {"alive": 1, "total": 1, "restarts": 0, "workers": []}
+
+    def pool_wire(self) -> dict | None:
+        return None
+
+    def close(self) -> None:
+        pass  # the engine outlives the service (callers own it)

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 import numpy as np
 
 from repro import errors as _errors
+from repro.engine.cache import CacheStats
+from repro.engine.engine import EngineTelemetry
 from repro.engine.request import MACRequest
 from repro.errors import QueryError, ReproError, ServiceError, ServiceOverloaded
 from repro.geometry.region import PreferenceRegion
@@ -319,6 +321,46 @@ def telemetry_to_wire(tel) -> dict:
         "caches": caches,
         "stage_seconds": dict(tel.stage_seconds),
     }
+
+
+def telemetry_from_wire(obj) -> EngineTelemetry:
+    """Rebuild an :class:`EngineTelemetry` from its wire form.
+
+    The worker tier sends each worker's telemetry over a pipe in wire
+    form; the parent decodes with this and merges the typed snapshots
+    (:func:`repro.engine.merge_telemetry`) into the fleet view.
+    Missing fields decode as zeros, so a partial payload degrades to
+    undercounting instead of raising.
+    """
+    if not isinstance(obj, dict):
+        raise ServiceError("malformed telemetry payload (not an object)")
+    caches = obj.get("caches", {})
+
+    def stats(name: str) -> CacheStats:
+        entry = caches.get(name, {}) if isinstance(caches, dict) else {}
+        return CacheStats(
+            hits=int(entry.get("hits", 0)),
+            misses=int(entry.get("misses", 0)),
+            size=int(entry.get("size", 0)),
+            capacity=int(entry.get("capacity", 0)),
+        )
+
+    stage_seconds = obj.get("stage_seconds", {})
+    try:
+        return EngineTelemetry(
+            searches=int(obj.get("searches", 0)),
+            batches=int(obj.get("batches", 0)),
+            filter=stats("filter"),
+            core=stats("core"),
+            dominance=stats("dominance"),
+            result=stats("result"),
+            stage_seconds={
+                str(k): float(v) for k, v in dict(stage_seconds).items()
+            },
+            deadline_exceeded=int(obj.get("deadline_exceeded", 0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed telemetry payload: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,15 @@ stdlib-only (``asyncio`` streams + a minimal HTTP/1.1 layer): engine
 calls are CPU-bound Python, so they run on a bounded thread pool while
 the event loop stays free to accept, parse, and answer.
 
+The compute tier behind the HTTP layer is pluggable: the default
+:class:`~repro.service.executor.EngineExecutor` shares one in-process
+engine across the thread pool, while
+:class:`~repro.pool.PoolExecutor` fronts a supervised tier of worker
+*processes* (``repro serve --worker-processes N``) that escapes the GIL
+for CPU-bound searches.  A request in flight on a worker that dies
+fails typed (503, :class:`~repro.errors.WorkerCrashed`); the tier
+restarts the worker and later retries succeed.
+
 Endpoints (all bodies JSON):
 
 ========================  =============================================
@@ -53,15 +62,14 @@ from repro.errors import (
     ReproError,
     ServiceError,
     ServiceOverloaded,
+    WorkerCrashed,
 )
+from repro.service.executor import EngineExecutor
 from repro.service.protocol import (
     DEFAULT_PORT,
     PROTOCOL_VERSION,
     error_to_wire,
-    plan_to_wire,
     request_from_wire,
-    result_to_wire,
-    telemetry_to_wire,
 )
 
 #: Largest accepted request body (a batch of thousands of requests fits
@@ -77,6 +85,7 @@ _REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -144,6 +153,12 @@ class MACService:
     engine:
         The warm :class:`MACEngine` every request runs against (its
         caches are thread-safe; the service shares them across slots).
+        Mutually exclusive with ``executor``.
+    executor:
+        An execution backend instead of an in-process engine — e.g.
+        :class:`repro.pool.PoolExecutor` over a worker-process tier.
+        Passing ``engine`` is shorthand for
+        ``executor=EngineExecutor(engine)``.
     host, port:
         Bind address.  ``port=0`` picks an ephemeral port (read it back
         from :attr:`port` after :meth:`start` / ``start_background``).
@@ -159,14 +174,19 @@ class MACService:
 
     def __init__(
         self,
-        engine: MACEngine,
+        engine: MACEngine | None = None,
         *,
+        executor=None,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         max_concurrency: int = 4,
         queue_depth: int = 16,
         default_deadline: float | None = None,
     ) -> None:
+        if (engine is None) == (executor is None):
+            raise ServiceError(
+                "provide exactly one of engine= or executor="
+            )
         if max_concurrency < 1:
             raise ServiceError(
                 f"max_concurrency must be >= 1, got {max_concurrency}"
@@ -179,7 +199,13 @@ class MACService:
             raise ServiceError(
                 f"default_deadline must be positive, got {default_deadline}"
             )
-        self.engine = engine
+        self.executor = (
+            executor if executor is not None else EngineExecutor(engine)
+        )
+        # ``None`` in pool mode: the parent engine exists only to fork.
+        self.engine = (
+            engine if engine is not None else self.executor.engine
+        )
         self.host = host
         self.port = port
         self.max_concurrency = max_concurrency
@@ -243,6 +269,10 @@ class MACService:
         for writer in list(self._open_writers):
             writer.close()
         self._pool.shutdown(wait=False)
+        # Stop the compute tier (a no-op for the default in-process
+        # executor; the pool executor joins its worker processes).
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.executor.close)
 
     @property
     def url(self) -> str:
@@ -479,6 +509,11 @@ class MACService:
         except DeadlineExceeded as exc:
             self._deadline_exceeded += 1
             return 504, {"error": error_to_wire(exc)}, ()
+        except WorkerCrashed as exc:
+            # Before ReproError: WorkerCrashed is a ServiceError, but it
+            # is the tier's fault, not the client's — 503, retriable.
+            self._errors += 1
+            return 503, {"error": error_to_wire(exc)}, ()
         except ReproError as exc:
             self._errors += 1
             return 400, {"error": error_to_wire(exc)}, ()
@@ -517,18 +552,21 @@ class MACService:
             return replace(request, deadline=self.default_deadline)
         return request
 
-    def _charged_search(self, request, submitted_at: float):
-        """One engine call, charging pool-queue wait against the budget.
+    def _charged_search(self, request, submitted_at: float) -> dict:
+        """One executor call, charging pool-queue wait against the budget.
 
         The admission semaphore counts *units* while the pool bounds
-        *engine calls*, so a search can hold a free semaphore slot yet
+        *executor calls*, so a search can hold a free semaphore slot yet
         still queue behind a batch's items inside the pool.  Runs on a
         worker thread: the wait between submission and pickup is
         re-charged here, so a budget that died in the pool queue fails
-        typed before touching the engine.
+        typed before dispatch.  Returns the result in wire form (remote
+        executors never materialise engine objects in this process).
         """
         waited = time.monotonic() - submitted_at
-        return self.engine.search(self._charge_queue_wait(request, waited))
+        return self.executor.search_wire(
+            self._charge_queue_wait(request, waited)
+        )
 
     async def _admit(
         self, requests: list, runner: Callable, per_item: bool = False
@@ -586,9 +624,7 @@ class MACService:
             submitted = time.monotonic()
             return await loop.run_in_executor(
                 self._pool,
-                lambda: result_to_wire(
-                    self._charged_search(reqs[0], submitted)
-                ),
+                lambda: self._charged_search(reqs[0], submitted),
             )
 
         wire = await self._admit([request], run)
@@ -631,9 +667,7 @@ class MACService:
             try:
                 return {
                     "ok": True,
-                    "result": result_to_wire(
-                        self._charged_search(req, submitted_at)
-                    ),
+                    "result": self._charged_search(req, submitted_at),
                 }
             except ReproError as exc:
                 return {"ok": False, "error": error_to_wire(exc)}
@@ -662,22 +696,39 @@ class MACService:
 
     async def _handle_explain(self, obj) -> dict:
         request = request_from_wire(obj)
-        # explain touches no heavy computation — answer on the loop.
-        plan = self.engine.explain(request)
-        return {"ok": True, "plan": plan_to_wire(plan)}
+        if self.executor.remote:
+            loop = asyncio.get_running_loop()
+            wire = await loop.run_in_executor(
+                None, self.executor.explain_wire, request
+            )
+        else:
+            # explain touches no heavy computation — answer on the loop.
+            wire = self.executor.explain_wire(request)
+        return {"ok": True, "plan": wire}
 
     async def _handle_healthz(self, _obj) -> dict:
-        tel = self.engine.telemetry()
+        # Built off the loop: a remote executor polls worker pipes for
+        # telemetry, and even the in-process fingerprint hashes the
+        # network once — neither belongs on the accept path.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._healthz_payload)
+
+    def _healthz_payload(self) -> dict:
+        tel = self.executor.telemetry_wire()
+        workers = self.executor.workers_wire()
+        degraded = workers["alive"] < workers["total"]
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "version": __version__,
             "protocol_version": PROTOCOL_VERSION,
             "uptime_s": time.monotonic() - self._started_at,
             "engine": {
-                "searches": tel.searches,
-                "cache_hits": tel.hits,
-                "cache_misses": tel.misses,
+                "searches": tel["searches"],
+                "cache_hits": tel["cache_hits"],
+                "cache_misses": tel["cache_misses"],
             },
+            "snapshot": {"fingerprint": self.executor.fingerprint()},
+            "workers": workers,
             "admission": {
                 "in_flight": self._in_flight,
                 "capacity": self.max_concurrency,
@@ -686,11 +737,17 @@ class MACService:
         }
 
     async def _handle_metrics(self, _obj) -> dict:
-        return {
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._metrics_payload)
+
+    def _metrics_payload(self) -> dict:
+        payload = {
             "service": {
                 "uptime_s": time.monotonic() - self._started_at,
                 "version": __version__,
                 "protocol_version": PROTOCOL_VERSION,
+                "executor": self.executor.kind,
+                "worker_processes": self.executor.num_workers,
                 "max_concurrency": self.max_concurrency,
                 "queue_depth": self.queue_depth,
                 "default_deadline": self.default_deadline,
@@ -702,8 +759,12 @@ class MACService:
                 "requests_total": self._requests_total,
                 "latency_ewma_s": self._latency_ewma,
             },
-            "engine": telemetry_to_wire(self.engine.telemetry()),
+            "engine": self.executor.telemetry_wire(),
         }
+        pool = self.executor.pool_wire()
+        if pool is not None:
+            payload["pool"] = pool
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -24,6 +24,7 @@ snapshot must never silently answer for a different network.
 from __future__ import annotations
 
 import json
+import struct
 import zipfile
 import zlib
 from pathlib import Path
@@ -137,7 +138,7 @@ def _dominance_key_from_json(entry: dict) -> tuple:
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
-def save_snapshot(engine, path) -> dict:
+def save_snapshot(engine, path, *, compress: bool = True) -> dict:
     """Serialize an engine's prepared state under directory ``path``.
 
     Crash-safe in both directions: any existing manifest is removed
@@ -146,6 +147,11 @@ def save_snapshot(engine, path) -> dict:
     lands last — so a crash mid-save leaves a snapshot that fails to
     load (no manifest), never one pairing an old manifest with new
     arrays.  Returns the manifest dict.
+
+    ``compress=False`` stores the arrays uncompressed, which makes the
+    snapshot memory-mappable: ``load_snapshot(..., mmap=True)`` then
+    opens the big payloads as shared read-only pages instead of copying
+    them per process (the worker tier's memory-sharing substrate).
     """
     network: RoadSocialNetwork = engine.network
     path = Path(path)
@@ -242,6 +248,7 @@ def save_snapshot(engine, path) -> dict:
         "repro_version": _repro_version,
         "numpy_version": np.__version__,
         "fingerprint": network_fingerprint(network),
+        "compressed": bool(compress),
         "backend": engine._default_backend,
         "engine": {
             "default_use_gtree": engine._default_use_gtree,
@@ -271,7 +278,10 @@ def save_snapshot(engine, path) -> dict:
     manifest_path.unlink(missing_ok=True)
     # The tmp name must keep the .npz suffix (savez appends it otherwise).
     arrays_tmp = path / ("tmp-" + ARRAYS_FILE)
-    np.savez_compressed(arrays_tmp, **arrays)
+    if compress:
+        np.savez_compressed(arrays_tmp, **arrays)
+    else:
+        np.savez(arrays_tmp, **arrays)
     arrays_tmp.replace(path / ARRAYS_FILE)
     manifest_tmp = path / (MANIFEST_FILE + ".tmp")
     manifest_tmp.write_text(json.dumps(manifest, indent=2) + "\n")
@@ -312,11 +322,96 @@ def read_manifest(path) -> dict:
     return manifest
 
 
-def _open_arrays(path: Path):
+class _MmapArchive:
+    """Read-only ``.npz`` view that memory-maps uncompressed members.
+
+    ``np.load(mmap_mode=...)`` silently ignores the mmap request for
+    zipped archives, so this opens the zip by hand: a member stored
+    uncompressed (``save_snapshot(compress=False)``) comes back as a
+    read-only ``np.memmap`` into the archive file — demand-paged
+    physical memory the kernel shares across every process mapping the
+    same snapshot — while a deflated member falls back to a normal
+    in-memory read.  ``mapped`` counts how many lookups actually
+    mapped, so callers can tell whether sharing is in effect.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = Path(path)
+        self._zf = zipfile.ZipFile(self._path)
+        self.files = [
+            name[:-4]
+            for name in self._zf.namelist()
+            if name.endswith(".npy")
+        ]
+        self.mapped = 0
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        name = key + ".npy"
+        try:
+            info = self._zf.getinfo(name)
+        except KeyError:
+            raise KeyError(key) from None
+        if info.compress_type == zipfile.ZIP_STORED:
+            array = self._map_member(info)
+            if array is not None:
+                self.mapped += 1
+                return array
+        with self._zf.open(name) as member:
+            return np.lib.format.read_array(member)
+
+    def _map_member(self, info: zipfile.ZipInfo) -> np.ndarray | None:
+        # ``header_offset`` points at the member's *local* file header,
+        # whose name/extra fields may differ in length from the central
+        # directory's copy — the payload offset must come from it.
+        with open(self._path, "rb") as f:
+            f.seek(info.header_offset)
+            local = f.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            data_offset = info.header_offset + 30 + name_len + extra_len
+        readers = {
+            (1, 0): np.lib.format.read_array_header_1_0,
+            (2, 0): np.lib.format.read_array_header_2_0,
+        }
+        try:
+            with self._zf.open(info.filename) as member:
+                version = np.lib.format.read_magic(member)
+                read_header = readers.get(tuple(version))
+                if read_header is None:
+                    return None  # unknown .npy version: take the copy path
+                shape, fortran, dtype = read_header(member)
+                npy_header = member.tell()
+        except Exception:
+            return None  # unreadable .npy header: take the copy path
+        if dtype.hasobject or any(s == 0 for s in shape):
+            return None  # not mappable (pickled objects / zero bytes)
+        return np.memmap(
+            self._path,
+            dtype=dtype,
+            mode="r",
+            offset=data_offset + npy_header,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+
+    def close(self) -> None:
+        self._zf.close()
+
+    def __enter__(self) -> _MmapArchive:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _open_arrays(path: Path, mmap: bool = False):
     arrays_path = path / ARRAYS_FILE
     if not arrays_path.is_file():
         raise SnapshotError(f"snapshot is missing {arrays_path}")
     try:
+        if mmap:
+            return _MmapArchive(arrays_path)
         return np.load(arrays_path)
     except _CORRUPTION_ERRORS as exc:
         raise SnapshotError(
@@ -377,7 +472,7 @@ def _expected_keys(manifest: dict) -> list[str]:
 # ----------------------------------------------------------------------
 # load
 # ----------------------------------------------------------------------
-def load_snapshot(path, network: RoadSocialNetwork, **overrides):
+def load_snapshot(path, network: RoadSocialNetwork, *, mmap=False, **overrides):
     """Reconstruct a warm :class:`~repro.engine.MACEngine` from ``path``.
 
     ``network`` must be content-identical to the network the snapshot
@@ -390,6 +485,15 @@ def load_snapshot(path, network: RoadSocialNetwork, **overrides):
     the first query builds no filter, core, or dominance state, which
     ``telemetry().stage_seconds`` and the per-result ``timings`` report
     as exact zeros.
+
+    With ``mmap=True``, arrays stored uncompressed (``save_snapshot``
+    with ``compress=False``) are opened as read-only ``np.memmap``
+    views instead of copies, so the CSR payloads (road/filter flat
+    graphs) stay file-backed and page-shared across processes.  State
+    rebuilt into Python objects (G-tree node maps, coreness dicts,
+    dominance DAGs) is materialized either way — the worker tier shares
+    those via fork copy-on-write.  Compressed members silently fall
+    back to a normal read.
     """
     from repro.engine.engine import (
         MACEngine,
@@ -422,7 +526,7 @@ def load_snapshot(path, network: RoadSocialNetwork, **overrides):
     kwargs.update(overrides)
 
     comp = manifest["components"]
-    with _open_arrays(path) as npz:
+    with _open_arrays(path, mmap=bool(mmap)) as npz:
         if "road_flat" in comp:
             network.road._flat = FlatGraph.from_arrays(
                 _get(npz, "road_flat.indptr"),

@@ -1,0 +1,112 @@
+"""Supervised-restart tests: kill workers and watch the tier recover."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import WorkerCrashed
+from repro.pool import WorkerPool
+from repro.road.network import SpatialPoint
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(**knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), 3, 9.0, REGION, **knobs)
+
+
+def wait_until(predicate, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached before timeout")
+
+
+@pytest.fixture
+def engine():
+    return MACEngine(make_network())
+
+
+class TestSupervisedRestart:
+    def test_sigkill_fails_in_flight_and_restarts(self, engine):
+        with WorkerPool(engine, 2) as pool:
+            victim = 0
+            in_flight = pool.submit_op(victim, "sleep", 60.0)
+            pid = pool.pool_wire()["workers"][victim]["pid"]
+            os.kill(pid, signal.SIGKILL)
+
+            # Only the in-flight request fails — typed, and promptly
+            # (never a hang on the dead process).
+            started = time.monotonic()
+            with pytest.raises(WorkerCrashed, match=f"worker {victim}"):
+                in_flight.result(timeout=30)
+            assert time.monotonic() - started < 10.0
+
+            # The supervisor refills the slot from the pre-fork engine.
+            wait_until(lambda: pool.workers_wire()["alive"] == 2)
+            wire = pool.workers_wire()
+            assert wire["restarts"] == 1
+            assert wire["workers"][victim]["restarts"] == 1
+            assert wire["workers"][victim]["pid"] != pid
+
+            # Subsequent requests succeed, including on the new worker.
+            result = pool.search_wire(make_request())
+            assert result["partitions"]
+            pool.submit_op(victim, "ping").result(timeout=30)
+            assert pool.pool_wire()["crashed_requests"] == 1
+
+    def test_abrupt_exit_op_is_supervised_too(self, engine):
+        with WorkerPool(engine, 1) as pool:
+            crash = pool.submit_op(0, "exit", 3)
+            with pytest.raises(WorkerCrashed, match="exit code 3"):
+                crash.result(timeout=30)
+            wait_until(lambda: pool.workers_wire()["alive"] == 1)
+            assert pool.search_wire(make_request())["partitions"]
+
+    def test_all_workers_down_surfaces_typed_not_hanging(self, engine):
+        with WorkerPool(engine, 1) as pool:
+            pool.submit_op(0, "sleep", 60.0)
+            pid = pool.pool_wire()["workers"][0]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            wait_until(lambda: not pool.pool_wire()["workers"][0]["alive"]
+                       or pool.workers_wire()["restarts"] >= 1)
+            # Whether we hit the dead window or the restarted worker,
+            # the call returns promptly with an answer or a typed error.
+            started = time.monotonic()
+            try:
+                pool.search_wire(make_request())
+            except WorkerCrashed:
+                pass
+            assert time.monotonic() - started < 15.0
+
+    def test_telemetry_survives_a_restart(self, engine):
+        with WorkerPool(engine, 1) as pool:
+            pool.search_wire(make_request())
+            before = pool.telemetry_wire()["searches"]
+            assert before >= 1
+            pid = pool.pool_wire()["workers"][0]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            wait_until(lambda: (w := pool.workers_wire())["restarts"] >= 1
+                       and w["alive"] == 1)
+            # The dead worker's last snapshot stays folded in: merged
+            # counters never go backwards across restarts.
+            assert pool.telemetry_wire()["searches"] >= before
+            pool.search_wire(make_request(time_budget=77.0))
+            assert pool.telemetry_wire()["searches"] >= before + 1

@@ -1,0 +1,96 @@
+"""Client-side replay of connection resets (the worker-crash signature)."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient
+
+
+class ResetThenServe:
+    """Raw HTTP stub: RSTs the first ``resets`` connections mid-response.
+
+    A worker-process crash inside a pool-backed service looks like this
+    from the client: the request went out, then the connection dies
+    with ECONNRESET before any bytes of the response arrive.
+    """
+
+    def __init__(self, resets: int = 1) -> None:
+        self.resets = resets
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            if self.connections <= self.resets:
+                # SO_LINGER with zero timeout turns close() into RST:
+                # the client sees ECONNRESET while awaiting the reply.
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                conn.close()
+                continue
+            body = json.dumps({"status": "ok"}).encode()
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body
+            )
+            conn.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestResetRetry:
+    def test_reset_mid_response_is_replayed_once(self):
+        server = ResetThenServe(resets=1)
+        try:
+            with ServiceClient(port=server.port) as client:
+                assert client.healthz() == {"status": "ok"}
+            assert server.connections == 2
+        finally:
+            server.close()
+
+    def test_second_reset_surfaces_typed(self):
+        server = ResetThenServe(resets=2)
+        try:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceError, match="lost|closed"):
+                    client.healthz()
+            assert server.connections == 2  # retried once, not forever
+        finally:
+            server.close()
+
+    def test_opt_out_disables_the_replay(self):
+        server = ResetThenServe(resets=1)
+        try:
+            client = ServiceClient(port=server.port, retry_resets=False)
+            with pytest.raises(ServiceError, match="lost|closed"):
+                client.healthz()
+            assert server.connections == 1
+            client.close()
+        finally:
+            server.close()

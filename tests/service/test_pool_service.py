@@ -1,0 +1,159 @@
+"""`MACService` over a `PoolExecutor`: the worker tier behind HTTP."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import WorkerCrashed
+from repro.pool import PoolExecutor, WorkerPool
+from repro.road.network import SpatialPoint
+from repro.service import MACService, ServiceClient
+from repro.errors import ServiceError
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(k: int = 3, **knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), k, 9.0, REGION, **knobs)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(MACEngine(make_network()), 2) as p:
+        yield p
+
+
+@pytest.fixture(scope="module")
+def service(pool):
+    svc = MACService(
+        executor=PoolExecutor(pool),
+        port=0, max_concurrency=4, queue_depth=8,
+    )
+    with svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(port=service.port) as c:
+        yield c
+
+
+class TestConstruction:
+    def test_requires_exactly_one_backend(self, pool):
+        with pytest.raises(ServiceError, match="exactly one"):
+            MACService()
+        with pytest.raises(ServiceError, match="exactly one"):
+            MACService(MACEngine(make_network()),
+                       executor=PoolExecutor(pool))
+
+    def test_pool_service_has_no_in_process_engine(self, service):
+        assert service.engine is None
+        assert service.executor.kind == "pool"
+
+
+class TestEndpoints:
+    def test_search_matches_in_process_engine(self, client):
+        request = make_request(algorithm="global")
+        served = client.search(request)
+        local = MACEngine(make_network()).search(request)
+        assert served.htk_vertices == local.htk_vertices
+        assert [sorted(p.best) for p in served.partitions] == \
+            [sorted(e.best.members) for e in local.partitions]
+
+    def test_explain_crosses_the_process_boundary(self, client):
+        plan = client.explain(make_request(algorithm="global"))
+        assert plan.searcher == "GS-NC"
+
+    def test_batch(self, client):
+        results = client.search_batch(
+            [make_request(label="a"), make_request(label="b", k=4)],
+            workers=2,
+        )
+        assert len(results) == 2
+
+    def test_healthz_reports_workers_and_snapshot(self, client, pool):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"]["alive"] == 2
+        assert health["workers"]["total"] == 2
+        assert health["snapshot"]["fingerprint"] == pool.fingerprint
+        assert health["engine"]["searches"] >= 0
+
+    def test_metrics_carries_the_pool_section(self, client):
+        metrics = client.metrics()
+        assert metrics["service"]["executor"] == "pool"
+        assert metrics["service"]["worker_processes"] == 2
+        pool_section = metrics["pool"]
+        assert pool_section["num_workers"] == 2
+        assert len(pool_section["workers"]) == 2
+        for entry in pool_section["workers"]:
+            assert {"qps", "queue_depth", "served", "restarts"} <= set(entry)
+        # Merged stage-cache counters from the worker fleet.
+        assert set(metrics["engine"]["caches"]) == \
+            {"filter", "core", "dominance", "result"}
+
+
+class TestCrashUnderLoad:
+    def test_worker_killed_mid_query_fails_typed_then_recovers(
+        self, service, client, pool
+    ):
+        request = make_request(algorithm="local", label="victim",
+                               time_budget=123.0)
+        victim = pool.route_for(request)
+        # Occupy the victim worker so the HTTP request is parked on it,
+        # then kill the process under the request.
+        hold = pool.submit_op(victim, "sleep", 20.0)
+        pid = pool.pool_wire()["workers"][victim]["pid"]
+
+        caught: list = []
+
+        def call():
+            try:
+                client.search(request)
+                caught.append(None)
+            except Exception as exc:  # noqa: BLE001 - recording for assert
+                caught.append(exc)
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        time.sleep(0.3)  # let the request reach the worker's pipe
+        os.kill(pid, signal.SIGKILL)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "HTTP request hung on a dead worker"
+        assert isinstance(caught[0], WorkerCrashed)
+        with pytest.raises(WorkerCrashed):
+            hold.result(timeout=30)
+
+        # The tier recovers: later requests succeed over HTTP and the
+        # restart shows up in /v1/metrics and /v1/healthz.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            if pool.workers_wire()["alive"] == 2:
+                break
+            time.sleep(0.05)
+        fresh = ServiceClient(port=service.port)
+        result = fresh.search(make_request(label="after", time_budget=7.0))
+        assert result.partitions
+        metrics = fresh.metrics()
+        assert metrics["pool"]["restarts"] >= 1
+        health = fresh.healthz()
+        assert health["workers"]["restarts"] >= 1
+        assert health["status"] == "ok"
+        fresh.close()
