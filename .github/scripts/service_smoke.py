@@ -16,7 +16,13 @@ The end-to-end deployment path, exactly as an operator would run it:
    ``--worker-processes 2``: the worker tier must serve its first
    queries with zero index builds in *both* forked workers (merged
    fleet ``stage_seconds`` exactly 0.0), report both workers alive in
-   ``/v1/healthz``, and shut down cleanly on SIGTERM too.
+   ``/v1/healthz``, and shut down cleanly on SIGTERM too,
+7. chaos: under concurrent client load, live-reload the fleet onto a
+   second snapshot (``POST /v1/admin/reload``), resize 2 -> 3 -> 2,
+   SIGKILL a worker, and SIGHUP the server — asserting zero non-typed
+   request failures, a ``/v1/healthz`` snapshot identity that is never
+   half-flipped (generation monotone, worker generations uniform),
+   and merged telemetry that never decreases across generations.
 
 Run from the repo root with ``PYTHONPATH=src``.
 """
@@ -29,6 +35,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -36,9 +43,10 @@ REPO = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO / "src"))
 
 from repro import MACRequest, PreferenceRegion, datasets  # noqa: E402
-from repro.errors import DeadlineExceeded  # noqa: E402
+from repro.errors import DeadlineExceeded, ReproError  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
 from repro.service.protocol import region_to_wire  # noqa: E402
+from repro.store import snapshot_digest  # noqa: E402
 
 DATASET = "sf+slashdot"
 SCALE = 0.1
@@ -227,6 +235,179 @@ def main() -> int:
             out = stop_cleanly(server)
         assert "worker process(es)" in out, out
         print("worker-tier clean shutdown confirmed:")
+        print(out)
+
+        # Phase 3: chaos.  A second snapshot (different warm set, so a
+        # different index digest), then a fresh worker-tier boot that
+        # gets live-reloaded, resized, worker-SIGKILLed, and SIGHUPed —
+        # all under concurrent client load.
+        chaos_snapshot = Path(tmp) / "idx-b"
+        warm_b = Path(tmp) / "warm-b.jsonl"
+        warm_b.write_text(json.dumps({
+            "query": list(query), "k": K, "t": t,
+            "region": region_to_wire(region), "algorithm": "local",
+        }) + "\n")
+        run_cli(
+            "index", "build", "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--out", str(chaos_snapshot),
+            "--warm", str(warm_b), "--no-compress",
+        )
+        digest_a = snapshot_digest(pool_snapshot)
+        digest_b = snapshot_digest(chaos_snapshot)
+        assert digest_a != digest_b, "chaos snapshots must be distinct"
+
+        chaos_port = PORT + 2
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(pool_snapshot),
+            "--port", str(chaos_port), "--worker-processes", "2",
+            "--drain-timeout", "10",
+        )
+        try:
+            admin = ServiceClient(port=chaos_port, timeout=120.0)
+            health = wait_healthy(admin, server)
+            assert health["snapshot"]["index_digest"] == digest_a, health
+
+            stop_load = threading.Event()
+            typed: list[str] = []  # typed rejections: allowed, counted
+            untyped: list[str] = []  # anything else: the smoke fails
+            served = [0]
+
+            def load(label: str) -> None:
+                # retry_overloaded absorbs back-pressure spikes; every
+                # other failure must still be a typed library error
+                # (e.g. WorkerCrashed from the SIGKILL below).
+                client = ServiceClient(
+                    port=chaos_port, timeout=120.0,
+                    retry_overloaded=4, retry_backoff=0.05,
+                )
+                probe = MACRequest.make(
+                    query, K, t, region, algorithm="local", label=label,
+                )
+                while not stop_load.is_set():
+                    try:
+                        client.search(probe)
+                        served[0] += 1
+                    except ReproError as exc:
+                        typed.append(f"{type(exc).__name__}: {exc}")
+                    except Exception as exc:  # noqa: BLE001
+                        untyped.append(f"{type(exc).__name__}: {exc}")
+                client.close()
+
+            flips: list[tuple[int, str]] = []
+            invariant_errors: list[str] = []
+
+            def poll_health() -> None:
+                # The atomic-flip watchdog: the reported snapshot
+                # identity must change generation and digest *together*
+                # and monotonically, worker generations must never be
+                # mixed, and merged telemetry must never decrease.
+                client = ServiceClient(port=chaos_port, timeout=120.0)
+                last_gen, last_searches = -1, -1
+                while not stop_load.is_set():
+                    try:
+                        h = client.healthz()
+                    except ReproError:
+                        continue  # a shed poll is not an invariant hole
+                    snap = h["snapshot"]
+                    gens = {
+                        w["generation"] for w in h["workers"]["workers"]
+                    }
+                    if len(gens) > 1:
+                        invariant_errors.append(
+                            f"mixed-generation fleet: {sorted(gens)}"
+                        )
+                    if snap["generation"] < last_gen:
+                        invariant_errors.append(
+                            f"generation went backwards: {last_gen} -> "
+                            f"{snap['generation']}"
+                        )
+                    if h["engine"]["searches"] < last_searches:
+                        invariant_errors.append(
+                            f"telemetry decreased: {last_searches} -> "
+                            f"{h['engine']['searches']}"
+                        )
+                    last_searches = h["engine"]["searches"]
+                    if snap["generation"] != last_gen:
+                        flips.append(
+                            (snap["generation"], snap["index_digest"])
+                        )
+                        last_gen = snap["generation"]
+                    time.sleep(0.02)
+                client.close()
+
+            threads = [
+                threading.Thread(target=load, args=(f"chaos-{i}",))
+                for i in range(3)
+            ] + [threading.Thread(target=poll_health)]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.5)  # load running against generation 0
+
+                summary = admin.reload(str(chaos_snapshot))
+                assert summary["generation"] == 1, summary
+                assert summary["index_digest"] == digest_b, summary
+                print(f"live reload under load: {summary}")
+
+                grown = admin.resize(3)
+                assert grown["workers"] == 3, grown
+                shrunk = admin.resize(2)
+                assert shrunk["workers"] == 2, shrunk
+                print(f"resized 2 -> 3 -> 2 under load: {shrunk}")
+
+                victim = admin.healthz()["workers"]["workers"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    h = admin.healthz()
+                    if (h["workers"]["alive"] == 2
+                            and h["workers"]["restarts"] >= 1):
+                        break
+                    time.sleep(0.2)
+                else:
+                    raise AssertionError("killed worker never refilled")
+                print(f"SIGKILLed worker pid {victim}; supervisor refilled")
+
+                # SIGHUP re-reloads the boot snapshot (generation 2).
+                server.send_signal(signal.SIGHUP)
+                deadline = time.time() + 60
+                while time.time() < deadline:
+                    if admin.metrics()["service"]["reloads"] >= 2:
+                        break
+                    time.sleep(0.2)
+                else:
+                    raise AssertionError("SIGHUP reload never landed")
+                h = admin.healthz()
+                assert h["snapshot"]["generation"] == 2, h["snapshot"]
+                assert h["snapshot"]["index_digest"] == digest_a, h["snapshot"]
+                print("SIGHUP reloaded the boot snapshot: generation 2")
+
+                time.sleep(0.5)  # load against the final generation
+            finally:
+                stop_load.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+
+            assert not untyped, f"non-typed request failures: {untyped[:5]}"
+            assert not invariant_errors, invariant_errors[:5]
+            assert served[0] > 0, "chaos load served nothing"
+            # The watchdog saw every identity exactly once, digests
+            # paired with their generation — never a half-flip.
+            expected_flips = [
+                (0, digest_a), (1, digest_b), (2, digest_a),
+            ]
+            assert flips == expected_flips, (flips, expected_flips)
+            final = admin.metrics()
+            assert final["service"]["reloads"] == 2, final["service"]
+            assert final["service"]["resizes"] == 2, final["service"]
+            print(f"chaos phase: {served[0]} request(s) served, "
+                  f"{len(typed)} typed rejection(s), 0 non-typed "
+                  f"failures, identity flips {flips}")
+            admin.close()
+        finally:
+            out = stop_cleanly(server)
+        print("chaos-phase clean shutdown confirmed:")
         print(out)
     return 0
 

@@ -432,15 +432,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise QueryError(
             f"--worker-processes must be >= 0, got {args.worker_processes}"
         )
+    if args.drain_timeout <= 0:
+        raise QueryError(
+            f"--drain-timeout must be > 0, got {args.drain_timeout}"
+        )
     pool_mode = args.worker_processes > 0
     ds = datasets.load_dataset(
         args.dataset, scale=args.scale, seed=args.seed,
         dimensions=args.dimensions,
     )
+    index_digest = None
     if args.snapshot is not None:
+        from repro.store.snapshot import snapshot_digest
+
         # In pool mode, open uncompressed array payloads as read-only
         # memory maps: all workers then share one page-cache copy
         # (build the snapshot with `index build --no-compress`).
+        index_digest = snapshot_digest(args.snapshot)
         engine = MACEngine.load(args.snapshot, ds.network, mmap=pool_mode)
         source = f"snapshot {args.snapshot} (warm start)"
     else:
@@ -451,11 +459,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         source = "fresh engine" + (
             " (eager indexes)" if args.eager or pool_mode else ""
         )
+    snapshot_path = (
+        str(args.snapshot) if args.snapshot is not None else None
+    )
     pool = None
     if pool_mode:
-        from repro.pool import PoolExecutor, WorkerPool
+        from repro.pool import FaultPlan, PoolExecutor, WorkerPool
 
-        pool = WorkerPool(engine, args.worker_processes).start()
+        fault_plan = (
+            FaultPlan.parse(args.fault_plan)
+            if args.fault_plan is not None
+            else FaultPlan.from_env()
+        )
+        pool = WorkerPool(
+            engine,
+            args.worker_processes,
+            drain_timeout=args.drain_timeout,
+            fault_plan=fault_plan,
+            source=snapshot_path,
+            index_digest=index_digest,
+        ).start()
         service = MACService(
             executor=PoolExecutor(pool),
             host=args.host,
@@ -463,15 +486,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_concurrency=args.workers,
             queue_depth=args.queue_depth,
             default_deadline=args.default_deadline,
+            drain_timeout=args.drain_timeout,
+            snapshot_path=snapshot_path,
         )
     else:
+        from repro.service.executor import EngineExecutor
+
         service = MACService(
-            engine,
+            executor=EngineExecutor(
+                engine, source=snapshot_path, index_digest=index_digest
+            ),
             host=args.host,
             port=args.port,
             max_concurrency=args.workers,
             queue_depth=args.queue_depth,
             default_deadline=args.default_deadline,
+            drain_timeout=args.drain_timeout,
+            snapshot_path=snapshot_path,
         )
 
     def banner() -> None:
@@ -671,6 +702,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--eager", action="store_true",
         help="build network-level indexes before listening "
              "(no-op with --snapshot)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace period for in-flight requests on shutdown, live "
+             "snapshot swap, and fleet resize before stragglers are "
+             "terminated (default 5)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="deterministic fault-injection plan for the worker tier "
+             "(chaos testing; overrides the REPRO_FAULT_PLAN "
+             "environment variable), e.g. "
+             "'[{\"kind\": \"kill\", \"slot\": 0, \"after\": 3}]'",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -55,6 +55,18 @@ class ServiceOverloaded(ServiceError):
         self.retry_after = retry_after
 
 
+class ReloadError(ServiceError):
+    """A zero-downtime admin operation failed and was rolled back (HTTP 409).
+
+    Raised by the live snapshot-swap / fleet-resize paths
+    (``POST /v1/admin/reload``, ``POST /v1/admin/resize``, ``SIGHUP``)
+    when the new snapshot fails validation, the replacement generation
+    never comes up, or another admin operation is already in progress.
+    The serving fleet is left on its previous generation — a failed
+    reload never degrades the running service.
+    """
+
+
 class WorkerCrashed(ServiceError):
     """A worker process died while this request was in flight (HTTP 503).
 

@@ -9,9 +9,18 @@ typed :class:`~repro.errors.WorkerCrashed`.
 Escapes the GIL ceiling of ``repro.service``'s default thread executor:
 search stages are pure Python + numpy, so threads serialize on the
 interpreter lock while processes scale with cores.
+
+The tier supports zero-downtime operations: :meth:`WorkerPool.swap`
+replaces the fleet with workers forked from a freshly loaded snapshot
+generation (old workers drain first; the reported identity flips
+atomically), :meth:`WorkerPool.resize` grows or shrinks the fleet at
+runtime, and :class:`~repro.pool.faults.FaultPlan` injects
+deterministic worker faults (kills, reply delays, drain stalls,
+corrupt snapshot reads) for chaos testing.
 """
 
 from repro.pool.executor import PoolExecutor
+from repro.pool.faults import Fault, FaultPlan
 from repro.pool.pool import WorkerPool
 
-__all__ = ["PoolExecutor", "WorkerPool"]
+__all__ = ["Fault", "FaultPlan", "PoolExecutor", "WorkerPool"]

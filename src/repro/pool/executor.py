@@ -1,11 +1,14 @@
 """`PoolExecutor`: adapts a :class:`WorkerPool` to the service executor
 protocol, so :class:`~repro.service.MACService` can serve from a
-multi-process tier exactly as it serves from an in-process engine.
+multi-process tier exactly as it serves from an in-process engine —
+including the zero-downtime admin surface (live snapshot reload, fleet
+resize).
 """
 
 from __future__ import annotations
 
 from repro.engine.request import MACRequest
+from repro.errors import ReloadError, SnapshotError
 from repro.pool.pool import WorkerPool
 
 
@@ -41,11 +44,49 @@ class PoolExecutor:
     def fingerprint(self) -> str | None:
         return self.pool.fingerprint
 
+    def snapshot_wire(self) -> dict:
+        return self.pool.snapshot_wire()
+
     def workers_wire(self) -> dict:
         return self.pool.workers_wire()
 
     def pool_wire(self) -> dict:
         return self.pool.pool_wire()
 
-    def close(self) -> None:
-        self.pool.stop()
+    def reload(self, snapshot_path) -> dict:
+        """Live snapshot swap: load ``snapshot_path`` into a fresh
+        engine, then :meth:`WorkerPool.swap` the fleet onto it.
+
+        Validation happens before any worker is touched — a missing,
+        corrupt, or wrong-network snapshot (or an injected
+        ``corrupt_snapshot`` fault) raises a typed
+        :class:`~repro.errors.ReloadError` with the serving fleet
+        untouched.
+        """
+        from repro.engine.engine import MACEngine
+        from repro.store.snapshot import snapshot_digest
+
+        path = str(snapshot_path)
+        try:
+            plan = self.pool.fault_plan
+            if plan:
+                plan.check_snapshot_load(path)
+            digest = snapshot_digest(path)
+            # Loading into the live network object is safe: the content
+            # fingerprint is checked before any in-place mutation, so a
+            # snapshot that gets as far as mutating is content-identical.
+            engine = MACEngine.load(path, self.pool.network, mmap=True)
+        except SnapshotError as exc:
+            raise ReloadError(
+                f"reload of {path} rolled back before any worker change: {exc}"
+            ) from exc
+        return self.pool.swap(engine, source=path, index_digest=digest)
+
+    def resize(self, num_workers: int) -> dict:
+        return self.pool.resize(num_workers)
+
+    def close(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            self.pool.stop()
+        else:
+            self.pool.stop(timeout=timeout)

@@ -1,0 +1,232 @@
+"""`repro.pool.faults`: deterministic fault injection for the worker tier.
+
+A :class:`FaultPlan` is a declarative list of faults that the pool and
+its workers consult at well-defined points, so chaos tests (and operators
+rehearsing an incident) can reproduce a failure *exactly* instead of
+hoping a ``kill -9`` races the right request:
+
+* ``kill`` — the worker process exits abruptly (``os._exit``) upon
+  receiving the Nth matching op, before serving it: the scriptable
+  stand-in for a segfault mid-request.
+* ``delay_reply`` — the worker sleeps before sending matching replies,
+  simulating a stall on the reply pipe.
+* ``stall_drain`` — the worker sleeps on the graceful-stop sentinel,
+  exercising the drain-timeout/terminate path of swap, resize and stop.
+* ``corrupt_snapshot`` — the next N admin snapshot loads fail with a
+  typed :class:`~repro.errors.SnapshotError` before any worker is
+  touched, proving the :class:`~repro.errors.ReloadError` rollback path.
+
+Plans are inert by default and deterministic by construction: worker-side
+faults key on ``(slot, incarnation, op, nth)``, where *incarnation*
+counts the processes that have filled a slot (restarts and swaps
+increment it) — so a ``kill`` fault fires once and does not fork-bomb
+the replacement unless ``incarnation`` is explicitly ``None`` (any).
+
+Inject a plan with ``WorkerPool(fault_plan=...)``, the CLI flag
+``repro serve --fault-plan '<json>'``, or the ``REPRO_FAULT_PLAN``
+environment variable (read at pool construction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ServiceError, SnapshotError
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+FAULT_KINDS = ("kill", "delay_reply", "stall_drain", "corrupt_snapshot")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declarative fault.  See the module docstring for the kinds."""
+
+    kind: str
+    slot: int | None = None  # None = any worker slot
+    op: str = "search"  # which op arms worker-side faults
+    after: int = 1  # fire on the Nth matching op (1-based)
+    incarnation: int | None = 0  # None = every process filling the slot
+    seconds: float = 0.0  # delay_reply / stall_drain duration
+    exit_code: int = 137  # kill exit status (mirrors SIGKILL)
+    count: int = 1  # corrupt_snapshot: loads to poison
+
+    @classmethod
+    def parse(cls, spec: dict) -> Fault:
+        if not isinstance(spec, dict):
+            raise ServiceError(f"a fault spec must be a JSON object, got {spec!r}")
+        unknown = set(spec) - {
+            "kind",
+            "slot",
+            "op",
+            "after",
+            "incarnation",
+            "seconds",
+            "exit_code",
+            "count",
+        }
+        if unknown:
+            raise ServiceError(f"unknown fault field(s): {sorted(unknown)}")
+        kind = spec.get("kind")
+        if kind not in FAULT_KINDS:
+            raise ServiceError(
+                f"fault kind must be one of {FAULT_KINDS}, got {kind!r}"
+            )
+        fault = cls(
+            kind=kind,
+            slot=spec.get("slot"),
+            op=str(spec.get("op", "search")),
+            after=int(spec.get("after", 1)),
+            incarnation=spec.get("incarnation", 0),
+            seconds=float(spec.get("seconds", 0.0)),
+            exit_code=int(spec.get("exit_code", 137)),
+            count=int(spec.get("count", 1)),
+        )
+        if fault.slot is not None and (
+            not isinstance(fault.slot, int) or fault.slot < 0
+        ):
+            raise ServiceError(f"fault slot must be a slot index, got {fault.slot!r}")
+        if fault.incarnation is not None and (
+            not isinstance(fault.incarnation, int) or fault.incarnation < 0
+        ):
+            raise ServiceError(
+                f"fault incarnation must be >= 0 or null, got {fault.incarnation!r}"
+            )
+        if fault.after < 1:
+            raise ServiceError(f"fault after must be >= 1, got {fault.after}")
+        if fault.seconds < 0:
+            raise ServiceError(f"fault seconds must be >= 0, got {fault.seconds}")
+        if fault.kind in ("delay_reply", "stall_drain") and fault.seconds == 0:
+            raise ServiceError(f"a {kind} fault needs seconds > 0")
+        if fault.count < 1:
+            raise ServiceError(f"fault count must be >= 1, got {fault.count}")
+        return fault
+
+    def to_wire(self) -> dict:
+        wire = {"kind": self.kind}
+        if self.kind == "corrupt_snapshot":
+            wire["count"] = self.count
+            return wire
+        wire.update(slot=self.slot, incarnation=self.incarnation)
+        if self.kind in ("kill", "delay_reply"):
+            wire.update(op=self.op, after=self.after)
+        if self.kind == "kill":
+            wire["exit_code"] = self.exit_code
+        else:
+            wire["seconds"] = self.seconds
+        return wire
+
+    def _matches_process(self, slot: int, incarnation: int) -> bool:
+        if self.slot is not None and self.slot != slot:
+            return False
+        return self.incarnation is None or self.incarnation == incarnation
+
+
+class FaultPlan:
+    """An ordered set of :class:`Fault` s, consulted by pool and workers.
+
+    Worker-side hooks (:meth:`kill_code`, :meth:`reply_delay`,
+    :meth:`drain_stall`) are pure functions of the call site — the
+    per-op counters live in the worker loop, so a forked child carries
+    no shared mutable state.  The parent-side :meth:`check_snapshot_load`
+    consumes ``corrupt_snapshot`` budget under a lock.
+    """
+
+    def __init__(self, faults: tuple[Fault, ...] = ()) -> None:
+        self.faults = tuple(faults)
+        self._lock = threading.Lock()
+        self._corrupt_used = 0
+
+    @classmethod
+    def parse(cls, spec) -> FaultPlan:
+        """Build a plan from a JSON string, a list of fault objects, or
+        a ``{"faults": [...]}`` wrapper.  ``None``/empty → inert plan."""
+        if spec is None or spec == "":
+            return cls(())
+        if isinstance(spec, str):
+            try:
+                spec = json.loads(spec)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"fault plan is not valid JSON: {exc}") from exc
+        if isinstance(spec, dict):
+            spec = spec.get("faults", [spec] if "kind" in spec else [])
+        if not isinstance(spec, list):
+            raise ServiceError(
+                f"a fault plan must be a JSON list of fault objects, got {spec!r}"
+            )
+        return cls(tuple(Fault.parse(entry) for entry in spec))
+
+    @classmethod
+    def from_env(cls, environ=None) -> FaultPlan:
+        """The plan injected via ``REPRO_FAULT_PLAN`` (inert if unset)."""
+        env = os.environ if environ is None else environ
+        return cls.parse(env.get(ENV_VAR))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_wire(self) -> list[dict]:
+        return [fault.to_wire() for fault in self.faults]
+
+    # -- worker-side hooks --------------------------------------------
+    def kill_code(self, slot: int, incarnation: int, op: str, nth: int):
+        """Exit code to die with upon receiving this op, or ``None``."""
+        for fault in self.faults:
+            if (
+                fault.kind == "kill"
+                and fault._matches_process(slot, incarnation)
+                and fault.op == op
+                and fault.after == nth
+            ):
+                return fault.exit_code
+        return None
+
+    def reply_delay(self, slot: int, incarnation: int, op: str, nth: int) -> float:
+        """Seconds to stall before replying to this op (0.0 = no fault)."""
+        return max(
+            (
+                fault.seconds
+                for fault in self.faults
+                if fault.kind == "delay_reply"
+                and fault._matches_process(slot, incarnation)
+                and fault.op == op
+                and nth >= fault.after
+            ),
+            default=0.0,
+        )
+
+    def drain_stall(self, slot: int, incarnation: int) -> float:
+        """Seconds to stall on the graceful-stop sentinel (0.0 = none)."""
+        return max(
+            (
+                fault.seconds
+                for fault in self.faults
+                if fault.kind == "stall_drain"
+                and fault._matches_process(slot, incarnation)
+            ),
+            default=0.0,
+        )
+
+    # -- parent-side hooks --------------------------------------------
+    def check_snapshot_load(self, path) -> None:
+        """Consume one ``corrupt_snapshot`` budget unit, raising typed.
+
+        Called by the admin reload path before the snapshot is read, so
+        the injected failure is indistinguishable from a truncated or
+        bit-flipped archive to everything above it — without touching
+        the real file.
+        """
+        budget = sum(f.count for f in self.faults if f.kind == "corrupt_snapshot")
+        with self._lock:
+            if self._corrupt_used < budget:
+                self._corrupt_used += 1
+                raise SnapshotError(
+                    f"injected fault: snapshot read of {path} returned "
+                    f"corrupt data (fault {self._corrupt_used}/{budget})"
+                )

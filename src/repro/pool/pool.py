@@ -20,9 +20,20 @@ queue forms.  A dead target fails over the same way.
 **Supervision.**  A supervisor thread waits on the process sentinels.
 When a worker dies (crash, SIGKILL, OOM), only the requests in flight on
 that worker fail — typed :class:`~repro.errors.WorkerCrashed` — and a
-replacement is forked from the parent engine, with exponential backoff
-if a worker crash-loops at boot.  Requests on other workers are
+replacement is forked from the parent engine, with per-slot exponential
+backoff if a worker crash-loops at boot.  Requests on other workers are
 untouched; the pool never hangs on a dead process.
+
+**Zero-downtime operations.**  :meth:`swap` forks a full replacement
+fleet from a freshly loaded engine on a new snapshot *generation*,
+atomically redirects new dispatch to it, and gracefully drains the old
+generation (in-flight requests complete; the externally reported
+snapshot identity flips only once the drain finishes).  A swap that
+fails validation is rolled back with a typed
+:class:`~repro.errors.ReloadError` and the serving fleet untouched.
+:meth:`resize` grows or shrinks the fleet the same way, draining
+retired slots.  Both are exercised under deterministic chaos via
+:class:`~repro.pool.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -38,7 +49,8 @@ from multiprocessing.connection import wait as _sentinel_wait
 
 from repro.engine import merge_telemetry
 from repro.engine.request import MACRequest
-from repro.errors import ServiceError, WorkerCrashed
+from repro.errors import ReloadError, ServiceError, WorkerCrashed
+from repro.pool.faults import FaultPlan
 from repro.pool.worker import worker_main
 from repro.service.protocol import (
     error_from_wire,
@@ -47,23 +59,42 @@ from repro.service.protocol import (
 )
 from repro.store.fingerprint import network_fingerprint
 
+_MAX_FAST_CRASHES = 6
+
+
+def _backoff_delay(fast_crashes: int) -> float:
+    """Supervisor restart backoff: 0.1s, 0.2s, ... capped at 2.0s."""
+    return min(0.05 * 2**fast_crashes, 2.0)
+
 
 class _PipeDied(Exception):
     """Internal: a send failed because the worker's pipe is gone."""
 
 
 class _Worker:
-    """Parent-side state of the process currently filling one slot."""
+    """Parent-side state of one worker process.
 
-    def __init__(self, slot: int, process, conn) -> None:
+    A worker belongs to a snapshot *generation* (bumped by every live
+    swap) and is one *incarnation* of its slot (bumped by every fork
+    into that slot).  ``retired`` flips when the worker leaves the
+    dispatchable fleet (swap or shrink) and is thereafter only drained.
+    """
+
+    def __init__(
+        self, slot: int, process, conn, generation: int, incarnation: int
+    ) -> None:
         self.slot = slot
         self.process = process
         self.conn = conn
+        self.generation = generation
+        self.incarnation = incarnation
         self.send_lock = threading.Lock()
         self.pending: dict[int, Future] = {}
         self.ready = threading.Event()
         self.info: dict = {}
         self.alive = True
+        self.retired = False
+        self.last_tel: dict | None = None
         self.started_at = time.monotonic()
         self.served = 0
 
@@ -83,13 +114,25 @@ class WorkerPool:
         forked (copy-on-write) at start and on every restart.
     num_workers:
         Worker processes (slots).  Slots are stable across restarts, so
-        affinity routing survives a crash.
+        affinity routing survives a crash.  :meth:`resize` changes the
+        count at runtime.
     spill_depth:
         In-flight requests on the affinity worker before new arrivals
         spill to the least-loaded worker.
     start_timeout:
         Seconds to wait for every worker's ready handshake in
-        :meth:`start`.
+        :meth:`start` (and for a replacement generation in
+        :meth:`swap` / :meth:`resize`).
+    drain_timeout:
+        Default seconds a retiring worker gets to finish its in-flight
+        requests before it is terminated (its leftovers fail typed).
+    fault_plan:
+        Deterministic chaos hooks (:class:`FaultPlan`); defaults to the
+        plan injected via ``REPRO_FAULT_PLAN`` (inert when unset).
+    source / index_digest:
+        Operator-facing identity of the snapshot the engine was loaded
+        from, reported by :meth:`snapshot_wire` and flipped atomically
+        by :meth:`swap`.
     """
 
     def __init__(
@@ -99,15 +142,17 @@ class WorkerPool:
         *,
         spill_depth: int = 4,
         start_timeout: float = 120.0,
+        drain_timeout: float = 5.0,
+        fault_plan: FaultPlan | None = None,
+        source: str | None = None,
+        index_digest: str | None = None,
     ) -> None:
         if num_workers < 1:
-            raise ServiceError(
-                f"num_workers must be >= 1, got {num_workers}"
-            )
+            raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
         if spill_depth < 1:
-            raise ServiceError(
-                f"spill_depth must be >= 1, got {spill_depth}"
-            )
+            raise ServiceError(f"spill_depth must be >= 1, got {spill_depth}")
+        if drain_timeout <= 0:
+            raise ServiceError(f"drain_timeout must be > 0, got {drain_timeout}")
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-unix
@@ -119,19 +164,30 @@ class WorkerPool:
         self.num_workers = num_workers
         self.spill_depth = spill_depth
         self.start_timeout = start_timeout
-        self._fingerprint: str | None = None
+        self.drain_timeout = drain_timeout
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self._source = source
+        self._index_digest = index_digest
+        self._engine_fp: str | None = None
+        self._generation = 0
+        self._active: dict | None = None  # reported identity; flips post-drain
         self._lock = threading.Lock()
+        self._admin_lock = threading.Lock()  # serializes swap/resize
         self._workers: list[_Worker | None] = [None] * num_workers
+        self._retiring: set[_Worker] = set()
         self._req_ids = itertools.count(1)
         self._started = False
         self._stopping = threading.Event()
         self._supervisor: threading.Thread | None = None
         self._restarts = [0] * num_workers
-        self._fast_crashes = 0
+        self._retired_restarts = 0
+        self._incarnations = [0] * num_workers
+        self._fast_crashes = [0] * num_workers
+        self._backoff_until = [0.0] * num_workers
+        self._pending_respawn: set[int] = set()
         self._crashed_requests = 0
         self._dispatched = {"affinity": 0, "spill": 0, "failover": 0}
-        self._last_tel: dict[int, dict] = {}
-        self._retired_tel = None  # EngineTelemetry of dead workers
+        self._retired_tel = None  # EngineTelemetry of dead/drained workers
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -139,8 +195,31 @@ class WorkerPool:
     # ------------------------------------------------------------------
     @property
     def fingerprint(self) -> str | None:
-        """Content fingerprint of the parent engine's network."""
-        return self._fingerprint
+        """Content fingerprint of the *reported* snapshot generation."""
+        return self._active["fingerprint"] if self._active else None
+
+    @property
+    def generation(self) -> int:
+        """The generation new dispatch goes to (bumped by every swap)."""
+        return self._generation
+
+    @property
+    def network(self):
+        """The parent engine's network (reload paths re-use its object)."""
+        return self._engine.network
+
+    def snapshot_wire(self) -> dict:
+        """The reported snapshot identity: fingerprint + generation +
+        provenance.  Flips atomically when a swap's drain completes —
+        an observer never sees a half-flipped identity."""
+        if self._active is None:
+            return {
+                "fingerprint": None,
+                "generation": 0,
+                "source": self._source,
+                "index_digest": self._index_digest,
+            }
+        return dict(self._active)
 
     def start(self) -> WorkerPool:
         """Fork the workers, wait for their ready handshakes, supervise."""
@@ -148,25 +227,32 @@ class WorkerPool:
             raise ServiceError("worker pool already started")
         self._started = True
         self._started_at = time.monotonic()
-        self._fingerprint = network_fingerprint(self._engine.network)
+        self._engine_fp = network_fingerprint(self._engine.network)
         for slot in range(self.num_workers):
             self._spawn(slot)
-        deadline = time.monotonic() + self.start_timeout
-        for worker in list(self._workers):
-            remaining = max(0.0, deadline - time.monotonic())
-            if not worker.ready.wait(timeout=remaining):
-                self.stop()
-                raise ServiceError(
-                    f"worker {worker.slot} did not become ready within "
-                    f"{self.start_timeout:g}s"
-                )
+        try:
+            self._await_ready(
+                [w for w in self._workers if w is not None], self.start_timeout
+            )
+        except ServiceError:
+            self.stop()
+            raise
+        self._active = {
+            "fingerprint": self._engine_fp,
+            "generation": 0,
+            "source": self._source,
+            "index_digest": self._index_digest,
+        }
         self._supervisor = threading.Thread(
             target=self._supervise, name="mac-pool-supervisor", daemon=True
         )
         self._supervisor.start()
         return self
 
-    def _spawn(self, slot: int) -> _Worker:
+    def _fork(
+        self, slot: int, engine, fingerprint: str, generation: int, incarnation: int
+    ) -> _Worker:
+        """Fork one worker process; the caller decides where it lives."""
         parent_conn, child_conn = self._ctx.Pipe()
         with warnings.catch_warnings():
             # Python 3.12+ warns on fork() from a multi-threaded
@@ -177,20 +263,86 @@ class WorkerPool:
             warnings.simplefilter("ignore", DeprecationWarning)
             process = self._ctx.Process(
                 target=worker_main,
-                args=(slot, child_conn, self._engine, self._fingerprint),
+                args=(
+                    slot,
+                    child_conn,
+                    engine,
+                    fingerprint,
+                    generation,
+                    incarnation,
+                    self.fault_plan if self.fault_plan else None,
+                ),
                 name=f"mac-pool-worker-{slot}",
                 daemon=True,
             )
             process.start()
         child_conn.close()
-        worker = _Worker(slot, process, parent_conn)
-        with self._lock:
-            self._workers[slot] = worker
+        worker = _Worker(slot, process, parent_conn, generation, incarnation)
         threading.Thread(
-            target=self._receive, args=(worker,),
-            name=f"mac-pool-recv-{slot}", daemon=True,
+            target=self._receive,
+            args=(worker,),
+            name=f"mac-pool-recv-{slot}",
+            daemon=True,
         ).start()
         return worker
+
+    def _spawn(self, slot: int) -> None:
+        """Fork a worker of the *current* generation into a fleet slot."""
+        with self._lock:
+            engine = self._engine
+            fingerprint = self._engine_fp
+            generation = self._generation
+            incarnation = self._incarnations[slot]
+            self._incarnations[slot] += 1
+        worker = self._fork(slot, engine, fingerprint, generation, incarnation)
+        with self._lock:
+            stale = (
+                self._stopping.is_set()
+                or slot >= self.num_workers
+                or (
+                    self._workers[slot] is not None
+                    and self._workers[slot].alive
+                )
+            )
+            if not stale:
+                self._workers[slot] = worker
+        if stale:
+            # The slot was filled or retired while we forked (a swap,
+            # shrink, or stop raced the respawn): discard quietly.
+            self._discard([worker])
+
+    def _await_ready(self, workers: list[_Worker], timeout: float) -> None:
+        """Wait for ready handshakes, failing fast on a dead process."""
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            while not worker.ready.wait(timeout=0.05):
+                if not worker.process.is_alive():
+                    raise ServiceError(
+                        f"worker {worker.slot} (generation "
+                        f"{worker.generation}) died during start with exit "
+                        f"code {worker.process.exitcode}"
+                    )
+                if time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"worker {worker.slot} did not become ready within "
+                        f"{timeout:g}s"
+                    )
+
+    def _discard(self, workers: list[_Worker]) -> None:
+        """Kill workers that never joined the fleet (rollback path)."""
+        for worker in workers:
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain and stop every worker; fail leftover in-flight requests.
@@ -202,43 +354,10 @@ class WorkerPool:
         """
         self._stopping.set()
         with self._lock:
-            workers = [w for w in self._workers if w is not None]
-        for worker in workers:
-            if not worker.alive:
-                continue
-            try:
-                with worker.send_lock:
-                    worker.conn.send(None)
-            except (OSError, ValueError):
-                pass
-        deadline = time.monotonic() + timeout
-        for worker in workers:
-            worker.process.join(
-                timeout=max(0.1, deadline - time.monotonic())
-            )
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=1.0)
-                if worker.process.is_alive():  # pragma: no cover
-                    worker.process.kill()
-                    worker.process.join(timeout=1.0)
-        error = WorkerCrashed(
-            "the worker pool was stopped with this request in flight"
-        )
-        leftovers: list[Future] = []
-        with self._lock:
-            for worker in workers:
-                worker.alive = False
-                leftovers.extend(worker.pending.values())
-                worker.pending.clear()
-        for future in leftovers:
-            if not future.done():
-                future.set_exception(error)
-        for worker in workers:
-            try:
-                worker.conn.close()
-            except OSError:  # pragma: no cover
-                pass
+            workers = [
+                w for w in [*self._workers, *self._retiring] if w is not None
+            ]
+        self._drain(workers, timeout, reason="was stopped with the pool")
         if self._supervisor is not None:
             self._supervisor.join(timeout=2.0)
             self._supervisor = None
@@ -252,6 +371,289 @@ class WorkerPool:
         self.stop()
 
     # ------------------------------------------------------------------
+    # zero-downtime operations
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        engine,
+        *,
+        source: str | None = None,
+        index_digest: str | None = None,
+        drain_timeout: float | None = None,
+    ) -> dict:
+        """Live snapshot swap: replace the fleet with workers forked
+        from ``engine``, without dropping a request.
+
+        Stages a full replacement generation first (fork + ready
+        handshake); any validation failure rolls back with a typed
+        :class:`ReloadError` and the serving fleet untouched.  On
+        success, new dispatch flips to the new generation atomically,
+        the old generation drains (in-flight requests complete, FIFO
+        before the stop sentinel), and only then does the reported
+        snapshot identity (:meth:`snapshot_wire`) flip — also
+        atomically.
+        """
+        if not self._started:
+            raise ReloadError("cannot swap: the worker pool is not started")
+        if not self._admin_lock.acquire(blocking=False):
+            raise ReloadError(
+                "another admin operation (swap or resize) is in progress; "
+                "retry when it completes"
+            )
+        try:
+            return self._swap_locked(engine, source, index_digest, drain_timeout)
+        finally:
+            self._admin_lock.release()
+
+    def _swap_locked(self, engine, source, index_digest, drain_timeout) -> dict:
+        started = time.monotonic()
+        if self._stopping.is_set():
+            raise ReloadError("cannot swap: the worker pool is stopping")
+        fingerprint = network_fingerprint(engine.network)
+        generation = self._generation + 1
+        staged: list[_Worker] = []
+        try:
+            for slot in range(self.num_workers):
+                with self._lock:
+                    incarnation = self._incarnations[slot]
+                    self._incarnations[slot] += 1
+                staged.append(
+                    self._fork(slot, engine, fingerprint, generation, incarnation)
+                )
+            self._await_ready(staged, self.start_timeout)
+            if self._stopping.is_set():
+                raise ServiceError("the worker pool began stopping mid-swap")
+        except Exception as exc:
+            self._discard(staged)
+            raise ReloadError(
+                f"snapshot swap to generation {generation} rolled back "
+                f"({len(staged)} staged worker(s) discarded, serving fleet "
+                f"untouched): {exc}"
+            ) from exc
+        # Install: from here on every new dispatch goes to the new
+        # generation; the old one only finishes what it already holds.
+        with self._lock:
+            retired = [w for w in self._workers if w is not None]
+            for worker in staged:
+                self._workers[worker.slot] = worker
+            self._engine = engine
+            self._engine_fp = fingerprint
+            self._generation = generation
+            for worker in retired:
+                worker.retired = True
+                if worker.alive:
+                    self._retiring.add(worker)
+        drain = self._drain(
+            retired,
+            self.drain_timeout if drain_timeout is None else drain_timeout,
+            reason="was retired by a live snapshot swap",
+        )
+        # The reported identity flips only now — after the old
+        # generation fully drained — and atomically (one dict swap).
+        self._active = {
+            "fingerprint": fingerprint,
+            "generation": generation,
+            "source": source,
+            "index_digest": index_digest,
+        }
+        return {
+            "generation": generation,
+            "fingerprint": fingerprint,
+            "source": source,
+            "index_digest": index_digest,
+            "workers": self.num_workers,
+            "drained": drain["drained"],
+            "terminated": drain["terminated"],
+            "elapsed_s": round(time.monotonic() - started, 3),
+        }
+
+    def resize(self, num_workers: int, *, drain_timeout: float | None = None) -> dict:
+        """Grow or shrink the fleet at runtime.
+
+        Growing stages the new slots first (ready handshake, rollback on
+        failure); shrinking removes the retired slots from dispatch
+        immediately, then drains them gracefully — their in-flight
+        requests complete.
+        """
+        if num_workers < 1:
+            raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
+        if not self._started:
+            raise ReloadError("cannot resize: the worker pool is not started")
+        if not self._admin_lock.acquire(blocking=False):
+            raise ReloadError(
+                "another admin operation (swap or resize) is in progress; "
+                "retry when it completes"
+            )
+        try:
+            return self._resize_locked(num_workers, drain_timeout)
+        finally:
+            self._admin_lock.release()
+
+    def _resize_locked(self, num_workers: int, drain_timeout) -> dict:
+        started = time.monotonic()
+        if self._stopping.is_set():
+            raise ReloadError("cannot resize: the worker pool is stopping")
+        old_n = self.num_workers
+        drain = {"drained": 0, "terminated": 0}
+        if num_workers > old_n:
+            staged: list[_Worker] = []
+            try:
+                for slot in range(old_n, num_workers):
+                    staged.append(
+                        self._fork(
+                            slot, self._engine, self._engine_fp, self._generation, 0
+                        )
+                    )
+                self._await_ready(staged, self.start_timeout)
+            except Exception as exc:
+                self._discard(staged)
+                raise ReloadError(
+                    f"fleet grow {old_n} -> {num_workers} rolled back "
+                    f"(fleet unchanged): {exc}"
+                ) from exc
+            grow = num_workers - old_n
+            with self._lock:
+                self._workers.extend(staged)
+                self._restarts.extend([0] * grow)
+                self._incarnations.extend([1] * grow)
+                self._fast_crashes.extend([0] * grow)
+                self._backoff_until.extend([0.0] * grow)
+                self.num_workers = num_workers
+        elif num_workers < old_n:
+            with self._lock:
+                retired = [
+                    w for w in self._workers[num_workers:] if w is not None
+                ]
+                self._retired_restarts += sum(self._restarts[num_workers:])
+                self._workers = self._workers[:num_workers]
+                self._restarts = self._restarts[:num_workers]
+                self._incarnations = self._incarnations[:num_workers]
+                self._fast_crashes = self._fast_crashes[:num_workers]
+                self._backoff_until = self._backoff_until[:num_workers]
+                self._pending_respawn = {
+                    s for s in self._pending_respawn if s < num_workers
+                }
+                self.num_workers = num_workers
+                for worker in retired:
+                    worker.retired = True
+                    if worker.alive:
+                        self._retiring.add(worker)
+            drain = self._drain(
+                retired,
+                self.drain_timeout if drain_timeout is None else drain_timeout,
+                reason="was retired by a fleet shrink",
+            )
+        return {
+            "workers": num_workers,
+            "previous": old_n,
+            "grown": max(0, num_workers - old_n),
+            "retired": max(0, old_n - num_workers),
+            "drained": drain["drained"],
+            "terminated": drain["terminated"],
+            "elapsed_s": round(time.monotonic() - started, 3),
+        }
+
+    def _drain(self, workers: list[_Worker], timeout: float, *, reason: str) -> dict:
+        """Gracefully retire workers: final telemetry poll, stop
+        sentinel, bounded join, terminate stragglers, finalize.
+
+        The telemetry poll is submitted *before* the sentinel, so the
+        FIFO pipe guarantees it reflects every request the worker ever
+        served; it becomes the worker's folded contribution to the
+        merged fleet counters (telemetry stays monotone across
+        generations).
+        """
+        workers = [w for w in workers if w is not None]
+        tel_futures: dict[_Worker, Future] = {}
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                tel_futures[worker] = self._submit(
+                    worker, "telemetry", None, allow_retired=True
+                )
+            except _PipeDied:
+                continue
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                with worker.send_lock:
+                    worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker, future in tel_futures.items():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                tel = future.result(timeout=remaining)
+            except Exception:
+                continue  # crashed or wedged: its last snapshot stands
+            with self._lock:
+                if worker.alive:
+                    worker.last_tel = tel
+        drained = terminated = 0
+        for worker in workers:
+            worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+                terminated += 1
+            else:
+                drained += 1
+            self._finalize(
+                worker,
+                WorkerCrashed(
+                    f"worker {worker.slot} {reason} with this request still "
+                    f"in flight; a retry is safe"
+                ),
+            )
+        return {"drained": drained, "terminated": terminated}
+
+    def _finalize(self, worker: _Worker, error: WorkerCrashed) -> bool:
+        """Idempotently mark a worker dead: fail its pending requests
+        with ``error``, fold its last telemetry into the retired
+        totals, close its pipe.  Returns whether it still held a fleet
+        slot (i.e. whether the caller should consider a respawn)."""
+        with self._lock:
+            if not worker.alive:
+                return False
+            worker.alive = False
+            pending = list(worker.pending.values())
+            worker.pending.clear()
+            self._retiring.discard(worker)
+            in_slot = (
+                worker.slot < len(self._workers)
+                and self._workers[worker.slot] is worker
+            )
+            if pending:
+                self._crashed_requests += len(pending)
+            last_tel = worker.last_tel
+            worker.last_tel = None
+            if last_tel is not None:
+                # Keep the worker's last-seen counters in the merged
+                # fleet telemetry so restarts and swaps never march
+                # totals backwards.  Folded under the lock so a
+                # concurrent telemetry_wire never misses the hand-off.
+                tel = telemetry_from_wire(last_tel)
+                self._retired_tel = (
+                    tel
+                    if self._retired_tel is None
+                    else merge_telemetry([self._retired_tel, tel])
+                )
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        return in_slot
+
+    # ------------------------------------------------------------------
     # receive / supervise
     # ------------------------------------------------------------------
     def _receive(self, worker: _Worker) -> None:
@@ -260,6 +662,10 @@ class WorkerPool:
                 message = worker.conn.recv()
             except (EOFError, OSError):
                 return  # worker exited, or the pool closed the pipe
+            except TypeError:
+                # The pipe handle was closed mid-recv (finalize racing
+                # this thread): same meaning as the OSError path.
+                return
             if message[0] == "__ready__":
                 worker.info = message[1]
                 worker.ready.set()
@@ -277,66 +683,76 @@ class WorkerPool:
 
     def _supervise(self) -> None:
         while not self._stopping.is_set():
+            self._respawn_due()
             with self._lock:
                 sentinels = {
                     w.process.sentinel: w
-                    for w in self._workers
+                    for w in [*self._workers, *self._retiring]
                     if w is not None and w.alive
                 }
             if not sentinels:
-                self._stopping.wait(0.2)
+                self._stopping.wait(0.1)
                 continue
-            for sentinel in _sentinel_wait(list(sentinels), timeout=0.5):
+            for sentinel in _sentinel_wait(list(sentinels), timeout=0.1):
                 self._on_death(sentinels[sentinel])
 
     def _on_death(self, worker: _Worker) -> None:
-        """Fail the dead worker's in-flight requests; fork a replacement."""
-        with self._lock:
-            current = self._workers[worker.slot]
-            if not worker.alive or current is not worker:
-                return  # already handled (send-failure path raced us)
-            worker.alive = False
-            pending = list(worker.pending.values())
-            worker.pending.clear()
-            self._crashed_requests += len(pending)
-            last_tel = self._last_tel.pop(worker.slot, None)
-        if last_tel is not None:
-            # Keep the dead worker's last-seen counters in the merged
-            # fleet telemetry so restarts do not march totals backwards.
-            tel = telemetry_from_wire(last_tel)
-            self._retired_tel = (
-                tel if self._retired_tel is None
-                else merge_telemetry([self._retired_tel, tel])
-            )
+        """Fail the dead worker's in-flight requests; schedule a
+        replacement fork (with crash-loop backoff) if it held a slot."""
         worker.process.join(timeout=1.0)
-        error = WorkerCrashed(
-            f"worker {worker.slot} "
-            f"(pid {worker.info.get('pid', worker.process.pid)}) died with "
-            f"exit code {worker.process.exitcode} while the request was in "
-            f"flight; the supervisor is restarting it — a retry is safe"
-        )
-        for future in pending:
-            if not future.done():
-                future.set_exception(error)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover
-            pass
-        if self._stopping.is_set():
-            return
-        uptime = time.monotonic() - worker.started_at
-        if uptime < 1.0:
-            # Crash loop (e.g. a poisoned engine): back off exponentially
-            # instead of fork-bombing; a worker that survived >= 1s
-            # resets the penalty.
-            self._fast_crashes = min(self._fast_crashes + 1, 6)
-            self._stopping.wait(min(0.05 * 2 ** self._fast_crashes, 2.0))
+        pid = worker.info.get("pid", worker.process.pid)
+        if worker.retired:
+            error = WorkerCrashed(
+                f"worker {worker.slot} (pid {pid}) died with exit code "
+                f"{worker.process.exitcode} while draining with this "
+                f"request in flight; a retry is safe"
+            )
         else:
-            self._fast_crashes = 0
+            error = WorkerCrashed(
+                f"worker {worker.slot} (pid {pid}) died with exit code "
+                f"{worker.process.exitcode} while the request was in "
+                f"flight; the supervisor is restarting it — a retry is safe"
+            )
+        in_slot = self._finalize(worker, error)
+        if not in_slot or worker.retired or self._stopping.is_set():
+            return
+        slot = worker.slot
+        now = time.monotonic()
+        uptime = now - worker.started_at
+        with self._lock:
+            if slot >= self.num_workers:  # pragma: no cover - shrink raced us
+                return
+            if uptime < 1.0:
+                # Crash loop (e.g. a poisoned engine): back off
+                # exponentially instead of fork-bombing; a worker that
+                # survived >= 1s resets the penalty.
+                self._fast_crashes[slot] = min(
+                    self._fast_crashes[slot] + 1, _MAX_FAST_CRASHES
+                )
+                delay = _backoff_delay(self._fast_crashes[slot])
+            else:
+                self._fast_crashes[slot] = 0
+                delay = 0.0
+            self._backoff_until[slot] = now + delay
+            self._restarts[slot] += 1
+            self._pending_respawn.add(slot)
+        self._respawn_due()
+
+    def _respawn_due(self) -> None:
+        """Fork replacements for slots whose backoff window has passed."""
         if self._stopping.is_set():
             return
-        self._restarts[worker.slot] += 1
-        self._spawn(worker.slot)
+        now = time.monotonic()
+        due: list[int] = []
+        with self._lock:
+            for slot in sorted(self._pending_respawn):
+                if slot >= self.num_workers:
+                    self._pending_respawn.discard(slot)
+                elif self._backoff_until[slot] <= now:
+                    self._pending_respawn.discard(slot)
+                    due.append(slot)
+        for slot in due:
+            self._spawn(slot)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -353,45 +769,58 @@ class WorkerPool:
     def _choose(self, request: MACRequest) -> _Worker:
         affinity = self.route_for(request)
         with self._lock:
-            alive = [
-                w for w in self._workers if w is not None and w.alive
-            ]
+            alive = [w for w in self._workers if w is not None and w.alive]
             if not alive:
                 raise WorkerCrashed(
                     f"all {self.num_workers} worker process(es) are down; "
                     f"the supervisor is restarting them — retry shortly"
                 )
             least = min(alive, key=lambda w: (w.depth, w.slot))
-            target = self._workers[affinity]
+            target = (
+                self._workers[affinity]
+                if affinity < len(self._workers)
+                else None
+            )
             if target is None or not target.alive:
                 self._dispatched["failover"] += 1
                 return least
-            if (
-                target.depth >= self.spill_depth
-                and least.depth < target.depth
-            ):
+            if target.depth >= self.spill_depth and least.depth < target.depth:
                 self._dispatched["spill"] += 1
                 return least
             self._dispatched["affinity"] += 1
             return target
 
-    def _submit(self, worker: _Worker, op: str, payload) -> Future:
+    def _submit(
+        self, worker: _Worker, op: str, payload, *, allow_retired: bool = False
+    ) -> Future:
         req_id = next(self._req_ids)
         future: Future = Future()
         with self._lock:
             if not worker.alive:
                 raise _PipeDied()
             worker.pending[req_id] = future
-        try:
-            with worker.send_lock:
-                worker.conn.send((req_id, op, payload))
-        except (OSError, ValueError) as exc:
-            # The pipe died under us: handle the crash immediately
-            # instead of waiting for the supervisor's sentinel pass.
+        died = stale = False
+        with worker.send_lock:
+            # Re-checked under the send lock: a worker retired by a
+            # concurrent swap/shrink gets its stop sentinel under this
+            # same lock, so an op observed as non-retired here is
+            # guaranteed to be sent before the sentinel (FIFO: it will
+            # be served, not silently dropped).
+            if not worker.alive or (worker.retired and not allow_retired):
+                stale = True
+            else:
+                try:
+                    worker.conn.send((req_id, op, payload))
+                except (OSError, ValueError):
+                    died = True
+        if stale or died:
             with self._lock:
                 worker.pending.pop(req_id, None)
-            self._on_death(worker)
-            raise _PipeDied() from exc
+            if died:
+                # The pipe died under us: handle the crash immediately
+                # instead of waiting for the supervisor's sentinel pass.
+                self._on_death(worker)
+            raise _PipeDied()
         return future
 
     def _dispatch(self, op: str, payload, request: MACRequest) -> Future:
@@ -400,7 +829,7 @@ class WorkerPool:
             try:
                 return self._submit(worker, op, payload)
             except _PipeDied:
-                continue  # that worker just died; route around it
+                continue  # that worker just died or retired; re-route
         raise WorkerCrashed(
             f"could not dispatch to any of {self.num_workers} worker "
             f"process(es); the supervisor is restarting them"
@@ -414,7 +843,9 @@ class WorkerPool:
         go through :meth:`search_wire`, which routes by affinity.
         """
         with self._lock:
-            worker = self._workers[slot]
+            worker = (
+                self._workers[slot] if 0 <= slot < len(self._workers) else None
+            )
             if worker is None or not worker.alive:
                 raise WorkerCrashed(f"worker {slot} is not running")
         try:
@@ -434,9 +865,7 @@ class WorkerPool:
         first, raises the typed :class:`WorkerCrashed` the supervisor
         set — never hangs on a dead process.
         """
-        future = self._dispatch(
-            "search", (request, time.monotonic()), request
-        )
+        future = self._dispatch("search", (request, time.monotonic()), request)
         return future.result()
 
     def explain_wire(self, request: MACRequest) -> dict:
@@ -446,36 +875,46 @@ class WorkerPool:
     def telemetry_wire(self, timeout: float = 1.0) -> dict:
         """Merged engine telemetry across the fleet, in wire form.
 
-        Polls every live worker concurrently; one that is busy past
+        Polls every live worker concurrently — including retiring ones
+        still draining a swap or shrink; one that is busy past
         ``timeout`` (or mid-restart) contributes its last collected
         snapshot instead, so metrics stay responsive under load.  Dead
-        workers' final snapshots stay folded in (counters are totals
-        for the tier's lifetime, not just the current processes).
+        and drained workers' final snapshots stay folded in (counters
+        are totals for the tier's lifetime across generations, not just
+        the current processes).
         """
         with self._lock:
             workers = [
-                w for w in self._workers if w is not None and w.alive
+                w
+                for w in [*self._workers, *self._retiring]
+                if w is not None and w.alive
             ]
-        futures: dict[int, Future] = {}
+        futures: dict[_Worker, Future] = {}
         for worker in workers:
             try:
-                futures[worker.slot] = self._submit(
-                    worker, "telemetry", None
+                futures[worker] = self._submit(
+                    worker, "telemetry", None, allow_retired=True
                 )
             except _PipeDied:
                 continue
         deadline = time.monotonic() + timeout
-        for slot, future in futures.items():
+        for worker, future in futures.items():
             remaining = max(0.0, deadline - time.monotonic())
             try:
-                self._last_tel[slot] = future.result(timeout=remaining)
+                tel = future.result(timeout=remaining)
             except Exception:
-                pass  # busy or just crashed: merge its last snapshot
-        snapshots = [
-            telemetry_from_wire(t) for t in self._last_tel.values()
-        ]
-        if self._retired_tel is not None:
-            snapshots.append(self._retired_tel)
+                continue  # busy or just crashed: merge its last snapshot
+            with self._lock:
+                if worker.alive:
+                    worker.last_tel = tel
+        with self._lock:
+            snapshots = [
+                telemetry_from_wire(w.last_tel)
+                for w in [*self._workers, *self._retiring]
+                if w is not None and w.last_tel is not None
+            ]
+            if self._retired_tel is not None:
+                snapshots.append(self._retired_tel)
         return telemetry_to_wire(merge_telemetry(snapshots))
 
     def workers_wire(self) -> dict:
@@ -491,6 +930,7 @@ class WorkerPool:
                     "alive": up,
                     "pid": worker.info.get("pid") if worker else None,
                     "restarts": self._restarts[slot],
+                    "generation": worker.generation if worker else None,
                     "fingerprint": (
                         worker.info.get("fingerprint") if worker else None
                     ),
@@ -498,7 +938,9 @@ class WorkerPool:
             return {
                 "alive": alive,
                 "total": self.num_workers,
-                "restarts": sum(self._restarts),
+                "restarts": sum(self._restarts) + self._retired_restarts,
+                "generation": self._generation,
+                "draining": len(self._retiring),
                 "workers": entries,
             }
 
@@ -508,10 +950,14 @@ class WorkerPool:
         with self._lock:
             entries = []
             for slot, worker in enumerate(self._workers):
+                backoff = max(0.0, self._backoff_until[slot] - now)
                 if worker is None:
                     entries.append({
-                        "worker": slot, "alive": False,
+                        "worker": slot,
+                        "alive": False,
                         "restarts": self._restarts[slot],
+                        "crash_loops": self._fast_crashes[slot],
+                        "restart_backoff_remaining": backoff,
                     })
                     continue
                 uptime = max(now - worker.started_at, 1e-9)
@@ -520,6 +966,10 @@ class WorkerPool:
                     "alive": worker.alive,
                     "pid": worker.info.get("pid"),
                     "restarts": self._restarts[slot],
+                    "generation": worker.generation,
+                    "incarnation": worker.incarnation,
+                    "crash_loops": self._fast_crashes[slot],
+                    "restart_backoff_remaining": backoff,
                     "queue_depth": worker.depth,
                     "served": worker.served,
                     "qps": worker.served / uptime,
@@ -528,9 +978,12 @@ class WorkerPool:
             return {
                 "num_workers": self.num_workers,
                 "spill_depth": self.spill_depth,
-                "restarts": sum(self._restarts),
+                "restarts": sum(self._restarts) + self._retired_restarts,
+                "generation": self._generation,
+                "draining": len(self._retiring),
                 "crashed_requests": self._crashed_requests,
                 "dispatched": dict(self._dispatched),
+                "fault_plan": self.fault_plan.to_wire(),
                 "workers": entries,
             }
 
@@ -538,5 +991,5 @@ class WorkerPool:
         w = self.workers_wire()
         return (
             f"WorkerPool(workers={w['alive']}/{w['total']}, "
-            f"restarts={w['restarts']})"
+            f"generation={w['generation']}, restarts={w['restarts']})"
         )

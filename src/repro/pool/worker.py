@@ -10,6 +10,13 @@ single-threaded and strictly FIFO: ``(req_id, op, payload)`` in,
 (:func:`result_to_wire` et al.) so they pickle cheaply and the parent
 can forward them to HTTP clients without touching engine objects.
 
+A worker belongs to one snapshot *generation* (incremented by every
+live swap) and is one *incarnation* of its slot (incremented by every
+restart); both ride in the ready handshake so the dispatcher can prove
+the fleet is never mixed-generation.  An optional
+:class:`~repro.pool.faults.FaultPlan` is consulted on every received
+op and on the stop sentinel — the deterministic chaos hooks.
+
 A worker never initiates shutdown: it exits on the ``None`` sentinel
 (graceful stop), on pipe EOF (the dispatcher went away), or abruptly
 when crashed/killed — which the parent-side supervisor detects through
@@ -75,7 +82,15 @@ def _handle(worker_id: int, engine, op: str, payload):
     raise ServiceError(f"unknown worker op {op!r}")
 
 
-def worker_main(worker_id: int, conn, engine, fingerprint: str) -> None:
+def worker_main(
+    worker_id: int,
+    conn,
+    engine,
+    fingerprint: str,
+    generation: int = 0,
+    incarnation: int = 0,
+    fault_plan=None,
+) -> None:
     """Serve ops from the dispatcher pipe until EOF or the stop sentinel.
 
     Runs inside the forked child.  Telemetry counters are reset at boot
@@ -88,16 +103,34 @@ def worker_main(worker_id: int, conn, engine, fingerprint: str) -> None:
     engine.reset_telemetry()
     conn.send((
         "__ready__",
-        {"worker": worker_id, "pid": os.getpid(), "fingerprint": fingerprint},
+        {
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "fingerprint": fingerprint,
+            "generation": generation,
+            "incarnation": incarnation,
+        },
     ))
+    op_counts: dict[str, int] = {}
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break  # dispatcher went away; nothing left to serve
         if message is None:
+            if fault_plan:
+                stall = fault_plan.drain_stall(worker_id, incarnation)
+                if stall > 0:
+                    time.sleep(stall)
             break
         req_id, op, payload = message
+        delay = 0.0
+        if fault_plan:
+            nth = op_counts[op] = op_counts.get(op, 0) + 1
+            code = fault_plan.kill_code(worker_id, incarnation, op, nth)
+            if code is not None:
+                os._exit(code)  # before serving: the request dies in flight
+            delay = fault_plan.reply_delay(worker_id, incarnation, op, nth)
         try:
             reply = (req_id, True, _handle(worker_id, engine, op, payload))
         except ReproError as exc:
@@ -108,6 +141,8 @@ def worker_main(worker_id: int, conn, engine, fingerprint: str) -> None:
                 "message": f"worker {worker_id} failed on {op!r}: "
                            f"{type(exc).__name__}: {exc}",
             })
+        if delay > 0:
+            time.sleep(delay)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):

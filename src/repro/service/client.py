@@ -18,17 +18,22 @@ stale connection (server restarted between calls) is retried once
 transparently.  Server-side back-pressure surfaces as
 :class:`~repro.errors.ServiceOverloaded` (with the server's
 ``retry_after`` hint) and expired budgets as
-:class:`~repro.errors.DeadlineExceeded` — never as a hang.
+:class:`~repro.errors.DeadlineExceeded` — never as a hang.  With
+``retry_overloaded=N`` the client absorbs up to N back-pressure
+rejections itself, sleeping a capped exponential backoff (with jitter,
+honoring the server's hint) between attempts.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 
 from repro.engine.request import MACRequest
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloaded
 from repro.service.protocol import (
     DEFAULT_PORT,
     ServicePlan,
@@ -50,7 +55,16 @@ class ServiceClient:
         *,
         timeout: float = 120.0,
         retry_resets: bool = True,
+        retry_overloaded: int = 0,
+        retry_backoff: float = 0.25,
+        retry_backoff_cap: float = 10.0,
     ) -> None:
+        if retry_overloaded < 0:
+            raise ServiceError(
+                f"retry_overloaded must be >= 0, got {retry_overloaded}"
+            )
+        if retry_backoff <= 0 or retry_backoff_cap <= 0:
+            raise ServiceError("retry backoff parameters must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -59,6 +73,15 @@ class ServiceClient:
         #: replay is idempotent; the reset signature is what a worker
         #: crash in the server's process tier looks like from here.
         self.retry_resets = retry_resets
+        #: Absorb up to N 429 rejections (typed ``ServiceOverloaded``)
+        #: before surfacing one, sleeping between attempts.  The sleep
+        #: is ``min(cap, max(server_hint, backoff * 2**attempt))`` with
+        #: ±25% jitter — capped exponential backoff that honors the
+        #: server's ``Retry-After`` and never synchronizes a client
+        #: herd.  The default 0 preserves fail-fast behavior.
+        self.retry_overloaded = retry_overloaded
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -83,6 +106,21 @@ class ServiceClient:
         self.close()
 
     def _call(self, method: str, path: str, payload=None) -> dict:
+        """One logical call: transport retries + bounded 429 backoff."""
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, path, payload)
+            except ServiceOverloaded as exc:
+                if attempt >= self.retry_overloaded:
+                    raise
+                backoff = self.retry_backoff * (2**attempt)
+                hint = getattr(exc, "retry_after", 0.0) or 0.0
+                delay = min(self.retry_backoff_cap, max(hint, backoff))
+                time.sleep(delay * (0.75 + 0.5 * random.random()))
+                attempt += 1
+
+    def _call_once(self, method: str, path: str, payload=None) -> dict:
         body = None
         headers = {}
         if payload is not None:
@@ -236,6 +274,26 @@ class ServiceClient:
     def metrics(self) -> dict:
         """Engine cache/stage telemetry + server admission counters."""
         return self._call("GET", "/v1/metrics")
+
+    # ------------------------------------------------------------------
+    # zero-downtime admin operations
+    # ------------------------------------------------------------------
+    def reload(self, snapshot=None) -> dict:
+        """Live snapshot swap (``POST /v1/admin/reload``).
+
+        ``snapshot=None`` reloads the path the server booted from.
+        Blocks until the new generation serves and the old one drained;
+        a validation failure raises the typed
+        :class:`~repro.errors.ReloadError` (the fleet was rolled back).
+        """
+        payload = {} if snapshot is None else {"snapshot": str(snapshot)}
+        result = self._call("POST", "/v1/admin/reload", payload)
+        return result.get("reload", {})
+
+    def resize(self, workers: int) -> dict:
+        """Grow/shrink the server's worker fleet at runtime."""
+        result = self._call("POST", "/v1/admin/resize", {"workers": workers})
+        return result.get("resize", {})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ServiceClient(http://{self.host}:{self.port})"

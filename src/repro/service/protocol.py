@@ -36,6 +36,14 @@ PROTOCOL_VERSION = 1
 #: Default TCP port of ``repro serve``.
 DEFAULT_PORT = 8321
 
+#: Typed errors a client may safely retry: queries are pure, and each
+#: of these means "the request did not damage anything server-side" —
+#: back-pressure (429), a worker lost mid-flight (503, the supervisor
+#: is already restarting it), or a refused admin operation (409, the
+#: fleet was rolled back untouched).  Chaos tests and retry loops key
+#: off this set rather than hard-coding type names.
+RETRYABLE_ERRORS = ("ServiceOverloaded", "WorkerCrashed", "ReloadError")
+
 #: Optional request knobs and their defaults (fields beyond the
 #: required query/k/t/region); the encoder omits default values so the
 #: wire form stays minimal and forward-portable.

@@ -24,7 +24,17 @@ Endpoints (all bodies JSON):
 ``GET  /v1/healthz``      liveness + version/protocol (never builds)
 ``GET  /v1/metrics``      engine cache/stage telemetry + admission
                           counters
+``POST /v1/admin/reload`` ``{"snapshot": path?}`` -> live snapshot swap
+                          (zero-downtime; 409 typed rollback on failure)
+``POST /v1/admin/resize`` ``{"workers": n}`` -> grow/shrink the worker
+                          fleet with graceful drain
 ========================  =============================================
+
+**Zero-downtime operations.**  The admin endpoints (and ``SIGHUP`` when
+running under :meth:`MACService.run`) reload the serving snapshot and
+resize the worker fleet without dropping requests; they run outside
+admission control so an overloaded server can still be operated.  See
+ENGINE.md ("Operations").
 
 **Admission control.**  At most ``max_concurrency`` requests compute at
 once; up to ``queue_depth`` more wait.  Beyond that the server answers
@@ -59,6 +69,7 @@ from repro.engine.engine import MACEngine
 from repro.errors import (
     DeadlineExceeded,
     QueryError,
+    ReloadError,
     ReproError,
     ServiceError,
     ServiceOverloaded,
@@ -81,6 +92,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
@@ -170,6 +182,15 @@ class MACService:
     default_deadline:
         Budget (seconds) stamped onto requests that carry none; ``None``
         serves unbudgeted requests as-is.
+    drain_timeout:
+        Grace period (seconds) for in-flight work at shutdown: open
+        connections get this long to finish their response, and the
+        compute tier gets it to drain its in-flight pool requests
+        before workers are terminated (``--drain-timeout`` on the CLI).
+    snapshot_path:
+        The snapshot ``/v1/admin/reload`` (and ``SIGHUP``) reloads when
+        the request names none — normally the path the server booted
+        from.
     """
 
     def __init__(
@@ -182,6 +203,8 @@ class MACService:
         max_concurrency: int = 4,
         queue_depth: int = 16,
         default_deadline: float | None = None,
+        drain_timeout: float = 5.0,
+        snapshot_path: str | None = None,
     ) -> None:
         if (engine is None) == (executor is None):
             raise ServiceError(
@@ -199,6 +222,10 @@ class MACService:
             raise ServiceError(
                 f"default_deadline must be positive, got {default_deadline}"
             )
+        if drain_timeout <= 0:
+            raise ServiceError(
+                f"drain_timeout must be positive, got {drain_timeout}"
+            )
         self.executor = (
             executor if executor is not None else EngineExecutor(engine)
         )
@@ -211,6 +238,8 @@ class MACService:
         self.max_concurrency = max_concurrency
         self.queue_depth = queue_depth
         self.default_deadline = default_deadline
+        self.drain_timeout = drain_timeout
+        self.snapshot_path = snapshot_path
         # The single engine-call pool: its width IS the concurrency
         # bound — every search, including each batch item, runs on it.
         self._pool = _DaemonExecutor(
@@ -234,6 +263,9 @@ class MACService:
         self._errors = 0
         self._deadline_exceeded = 0
         self._requests_total = 0
+        self._reloads = 0
+        self._resizes = 0
+        self._admin_tasks: set[asyncio.Task] = set()
         self._latency_ewma = 0.1  # seconds; seeds the Retry-After estimate
 
     # ------------------------------------------------------------------
@@ -251,10 +283,13 @@ class MACService:
         """Stop accepting, drain open connections, release the pool.
 
         Idle keep-alive connections are closed immediately (the handler
-        sees EOF and exits); handlers mid-request get a bounded grace
-        period to finish writing their response (the drain flag stops
+        sees EOF and exits); handlers mid-request get ``drain_timeout``
+        seconds to finish writing their response (the drain flag stops
         them from waiting for another request afterwards), then any
-        stragglers are cut.
+        stragglers are cut.  The compute tier gets the same grace: a
+        pool executor drains its in-flight worker requests before any
+        worker process is terminated — SIGTERM on ``repro serve`` loses
+        nothing a worker could still finish.
         """
         self._draining = True
         if self._server is not None:
@@ -265,14 +300,19 @@ class MACService:
             if writer not in self._busy_writers:
                 writer.close()
         if self._conn_tasks:
-            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+            await asyncio.wait(
+                list(self._conn_tasks), timeout=self.drain_timeout
+            )
         for writer in list(self._open_writers):
             writer.close()
         self._pool.shutdown(wait=False)
         # Stop the compute tier (a no-op for the default in-process
-        # executor; the pool executor joins its worker processes).
+        # executor; the pool executor drains, then joins its worker
+        # processes).
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.executor.close)
+        await loop.run_in_executor(
+            None, lambda: self.executor.close(self.drain_timeout)
+        )
 
     @property
     def url(self) -> str:
@@ -293,10 +333,47 @@ class MACService:
                 loop.add_signal_handler(sig, self._stop_event.set)
             except NotImplementedError:  # pragma: no cover - non-unix
                 pass
+        if hasattr(signal, "SIGHUP"):
+            # The classic operator reload signal: re-read the serving
+            # snapshot (zero-downtime swap in pool mode).
+            try:
+                loop.add_signal_handler(signal.SIGHUP, self._on_sighup)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
         if on_started is not None:
             on_started()
         await self._stop_event.wait()
         await self.stop()
+
+    def _on_sighup(self) -> None:
+        """SIGHUP = reload the boot snapshot (runs on the event loop)."""
+        if self.snapshot_path is None:
+            print(
+                "serve: SIGHUP ignored — no --snapshot to reload",
+                file=sys.stderr, flush=True,
+            )
+            return
+        task = asyncio.ensure_future(self._sighup_reload())
+        self._admin_tasks.add(task)
+        task.add_done_callback(self._admin_tasks.discard)
+
+    async def _sighup_reload(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            summary = await loop.run_in_executor(
+                None, self.executor.reload, self.snapshot_path
+            )
+        except ReproError as exc:
+            print(f"serve: SIGHUP reload failed: {exc}",
+                  file=sys.stderr, flush=True)
+            return
+        self.engine = self.executor.engine
+        self._reloads += 1
+        print(
+            f"serve: SIGHUP reload complete — generation "
+            f"{summary['generation']}, fingerprint {summary['fingerprint']}",
+            file=sys.stderr, flush=True,
+        )
 
     # -- background-thread lifecycle (tests, benchmarks, embedding) ----
     def start_background(self) -> MACService:
@@ -475,6 +552,8 @@ class MACService:
             "/v1/explain": ("POST", self._handle_explain),
             "/v1/healthz": ("GET", self._handle_healthz),
             "/v1/metrics": ("GET", self._handle_metrics),
+            "/v1/admin/reload": ("POST", self._handle_admin_reload),
+            "/v1/admin/resize": ("POST", self._handle_admin_resize),
         }
         route = routes.get(path)
         if route is None:
@@ -497,7 +576,10 @@ class MACService:
                 except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                     raise QueryError(f"request body is not valid JSON: {exc}")
                 if obj is None:
-                    raise QueryError("request body must be a JSON object")
+                    if path.startswith("/v1/admin/"):
+                        obj = {}  # admin ops take an empty body (curl -X POST)
+                    else:
+                        raise QueryError("request body must be a JSON object")
             payload = await handler(obj)
             return 200, payload, ()
         except ServiceOverloaded as exc:
@@ -509,6 +591,11 @@ class MACService:
         except DeadlineExceeded as exc:
             self._deadline_exceeded += 1
             return 504, {"error": error_to_wire(exc)}, ()
+        except ReloadError as exc:
+            # An admin operation failed and was rolled back: 409, the
+            # serving fleet is unchanged and still healthy.
+            self._errors += 1
+            return 409, {"error": error_to_wire(exc)}, ()
         except WorkerCrashed as exc:
             # Before ReproError: WorkerCrashed is a ServiceError, but it
             # is the tier's fault, not the client's — 503, retriable.
@@ -706,6 +793,47 @@ class MACService:
             wire = self.executor.explain_wire(request)
         return {"ok": True, "plan": wire}
 
+    async def _handle_admin_reload(self, obj) -> dict:
+        """Zero-downtime snapshot swap (``POST /v1/admin/reload``).
+
+        Runs outside admission control — an overloaded server can still
+        be operated — and off the event loop (a pool swap forks, drains,
+        and joins processes).  Failure is a typed
+        :class:`~repro.errors.ReloadError` (409) with the serving fleet
+        rolled back, untouched.
+        """
+        if not isinstance(obj, dict):
+            raise QueryError('reload body must be {"snapshot": "<path>"?}')
+        path = obj.get("snapshot", self.snapshot_path)
+        if path is None:
+            raise QueryError(
+                'no snapshot to reload: pass {"snapshot": "<path>"} or boot '
+                "the server with --snapshot"
+            )
+        if not isinstance(path, str):
+            raise QueryError(f"snapshot must be a path string, got {path!r}")
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(None, self.executor.reload, path)
+        self.engine = self.executor.engine
+        self._reloads += 1
+        return {"ok": True, "reload": summary}
+
+    async def _handle_admin_resize(self, obj) -> dict:
+        """Grow/shrink the worker fleet (``POST /v1/admin/resize``)."""
+        workers = obj.get("workers") if isinstance(obj, dict) else None
+        if not isinstance(workers, int) or isinstance(workers, bool) or (
+            workers < 1
+        ):
+            raise QueryError(
+                'resize body must be {"workers": n} with n a positive integer'
+            )
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(
+            None, self.executor.resize, workers
+        )
+        self._resizes += 1
+        return {"ok": True, "resize": summary}
+
     async def _handle_healthz(self, _obj) -> dict:
         # Built off the loop: a remote executor polls worker pipes for
         # telemetry, and even the in-process fingerprint hashes the
@@ -727,7 +855,7 @@ class MACService:
                 "cache_hits": tel["cache_hits"],
                 "cache_misses": tel["cache_misses"],
             },
-            "snapshot": {"fingerprint": self.executor.fingerprint()},
+            "snapshot": self.executor.snapshot_wire(),
             "workers": workers,
             "admission": {
                 "in_flight": self._in_flight,
@@ -757,6 +885,9 @@ class MACService:
                 "errors": self._errors,
                 "deadline_exceeded": self._deadline_exceeded,
                 "requests_total": self._requests_total,
+                "reloads": self._reloads,
+                "resizes": self._resizes,
+                "drain_timeout": self.drain_timeout,
                 "latency_ewma_s": self._latency_ewma,
             },
             "engine": self.executor.telemetry_wire(),

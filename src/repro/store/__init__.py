@@ -24,6 +24,7 @@ from repro.store.snapshot import (
     load_snapshot,
     read_manifest,
     save_snapshot,
+    snapshot_digest,
     snapshot_info,
     verify_snapshot,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "network_fingerprint",
     "read_manifest",
     "save_snapshot",
+    "snapshot_digest",
     "snapshot_info",
     "verify_snapshot",
 ]

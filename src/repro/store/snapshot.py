@@ -23,6 +23,7 @@ snapshot must never silently answer for a different network.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zipfile
@@ -320,6 +321,21 @@ def read_manifest(path) -> dict:
     if "components" not in manifest or "fingerprint" not in manifest:
         raise SnapshotError(f"snapshot manifest {manifest_path} is incomplete")
     return manifest
+
+
+def snapshot_digest(path) -> str:
+    """Content digest (sha256 hex) of a snapshot's manifest.
+
+    The network ``fingerprint`` identifies the *dataset*: two snapshots
+    built from the same network — say, rebuilt with different warmed
+    stages — share it.  The manifest digest identifies the *index
+    build* (components, warmed cache keys, versions, build metadata),
+    so the zero-downtime reload path can report an observable identity
+    flip even when a live swap lands on the same dataset.
+    """
+    path = Path(path)
+    read_manifest(path)  # validate before digesting
+    return hashlib.sha256((path / MANIFEST_FILE).read_bytes()).hexdigest()
 
 
 class _MmapArchive:

@@ -1,0 +1,184 @@
+"""Deterministic fault injection: the chaos harness of the worker tier."""
+
+import json
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import ReloadError, ServiceError, WorkerCrashed
+from repro.pool import Fault, FaultPlan, PoolExecutor, WorkerPool
+from repro.pool.faults import ENV_VAR
+from repro.road.network import SpatialPoint
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+from repro.store import save_snapshot
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(**knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), 3, 9.0, REGION, **knobs)
+
+
+def wait_until(predicate, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached before timeout")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MACEngine(make_network())
+
+
+class TestFaultParsing:
+    def test_defaults(self):
+        fault = Fault.parse({"kind": "kill"})
+        assert fault.slot is None  # every slot
+        assert fault.op == "search"
+        assert fault.after == 1
+        assert fault.incarnation == 0  # first incarnation only: no bomb
+        assert fault.exit_code == 137
+
+    def test_wire_round_trip(self):
+        fault = Fault.parse(
+            {"kind": "delay_reply", "slot": 2, "op": "ping",
+             "after": 3, "seconds": 0.5, "incarnation": None}
+        )
+        assert Fault.parse(fault.to_wire()) == fault
+
+    def test_unknown_kind_is_typed(self):
+        with pytest.raises(ServiceError, match="fault kind must be one of"):
+            Fault.parse({"kind": "segfault"})
+
+    def test_unknown_field_is_typed(self):
+        with pytest.raises(ServiceError, match="unknown fault field"):
+            Fault.parse({"kind": "kill", "when": "now"})
+
+    def test_bad_values_are_typed(self):
+        for spec in (
+            {"kind": "kill", "slot": -1},
+            {"kind": "kill", "after": 0},
+            {"kind": "kill", "incarnation": -2},
+            {"kind": "delay_reply", "seconds": 0.0},
+            {"kind": "stall_drain", "seconds": -1},
+            {"kind": "corrupt_snapshot", "count": 0},
+            "not a dict",
+        ):
+            with pytest.raises(ServiceError):
+                Fault.parse(spec)
+
+
+class TestFaultPlan:
+    def test_parse_accepts_every_surface_shape(self):
+        spec = [{"kind": "kill", "slot": 1}]
+        as_list = FaultPlan.parse(spec)
+        as_json = FaultPlan.parse(json.dumps(spec))
+        as_single = FaultPlan.parse(spec[0])
+        as_wrapped = FaultPlan.parse({"faults": spec})
+        assert (
+            as_list.to_wire() == as_json.to_wire()
+            == as_single.to_wire() == as_wrapped.to_wire()
+        )
+        assert len(as_list) == 1 and bool(as_list)
+
+    def test_empty_plans_are_falsy(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse([])
+
+    def test_malformed_json_is_typed(self):
+        with pytest.raises(ServiceError, match="fault plan"):
+            FaultPlan.parse("{not json")
+
+    def test_from_env(self):
+        environ = {ENV_VAR: '[{"kind": "kill", "after": 7}]'}
+        plan = FaultPlan.from_env(environ)
+        assert len(plan) == 1
+        assert plan.to_wire()[0]["after"] == 7
+        assert not FaultPlan.from_env({})
+
+    def test_kill_matches_only_its_coordinates(self):
+        plan = FaultPlan.parse(
+            {"kind": "kill", "slot": 1, "op": "search", "after": 2,
+             "exit_code": 9}
+        )
+        assert plan.kill_code(1, 0, "search", 2) == 9
+        assert plan.kill_code(1, 0, "search", 1) is None  # not the Mth
+        assert plan.kill_code(1, 0, "search", 3) is None  # exactly once
+        assert plan.kill_code(0, 0, "search", 2) is None  # other slot
+        assert plan.kill_code(1, 1, "search", 2) is None  # respawned
+        assert plan.kill_code(1, 0, "ping", 2) is None  # other op
+
+
+class TestInjectedFaults:
+    def test_kill_on_nth_request_then_recovery(self, engine):
+        plan = FaultPlan.parse(
+            {"kind": "kill", "slot": 0, "op": "search", "after": 2}
+        )
+        with WorkerPool(engine, 1, fault_plan=plan) as pool:
+            assert pool.search_wire(make_request())["partitions"]
+            with pytest.raises(WorkerCrashed, match="worker 0"):
+                pool.search_wire(make_request())
+            # The supervisor refills the slot; incarnation 1 does not
+            # match the fault, so the fleet is healthy again.
+            wait_until(lambda: pool.workers_wire()["alive"] == 1)
+            assert pool.search_wire(make_request())["partitions"]
+            wire = pool.pool_wire()
+            assert wire["restarts"] == 1
+            assert wire["crashed_requests"] == 1
+            assert wire["fault_plan"] == plan.to_wire()
+
+    def test_delayed_reply_slows_exactly_the_nth_op(self, engine):
+        plan = FaultPlan.parse(
+            {"kind": "delay_reply", "op": "ping", "after": 2,
+             "seconds": 0.4}
+        )
+        with WorkerPool(engine, 1, fault_plan=plan) as pool:
+            started = time.monotonic()
+            pool.submit_op(0, "ping").result(timeout=30)
+            assert time.monotonic() - started < 0.3  # first: undelayed
+            started = time.monotonic()
+            pool.submit_op(0, "ping").result(timeout=30)
+            assert time.monotonic() - started >= 0.4
+
+    def test_stalled_drain_is_terminated_within_the_timeout(self, engine):
+        plan = FaultPlan.parse({"kind": "stall_drain", "seconds": 30.0})
+        pool = WorkerPool(
+            engine, 1, fault_plan=plan, drain_timeout=0.5
+        ).start()
+        pool.search_wire(make_request())
+        started = time.monotonic()
+        pool.stop(timeout=0.5)
+        # The stop sentinel wedged in the stalled worker; the pool
+        # escalates to terminate instead of waiting the full 30s.
+        assert time.monotonic() - started < 10.0
+
+    def test_corrupt_snapshot_rolls_the_reload_back(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "snap")
+        plan = FaultPlan.parse({"kind": "corrupt_snapshot", "count": 1})
+        with WorkerPool(engine, 1, fault_plan=plan) as pool:
+            executor = PoolExecutor(pool)
+            before = pool.snapshot_wire()
+            with pytest.raises(ReloadError, match="rolled back"):
+                executor.reload(tmp_path / "snap")
+            # Fleet untouched: same generation, still serving.
+            assert pool.snapshot_wire() == before
+            assert pool.search_wire(make_request())["partitions"]
+            # The fault budget is consumed: the retry goes through.
+            summary = executor.reload(tmp_path / "snap")
+            assert summary["generation"] == before["generation"] + 1

@@ -1,0 +1,180 @@
+"""The zero-downtime admin surface: /v1/admin/reload and /v1/admin/resize."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import QueryError, ReloadError
+from repro.pool import PoolExecutor, WorkerPool
+from repro.road.network import SpatialPoint
+from repro.service import MACService, ServiceClient
+from repro.service.executor import EngineExecutor
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+from repro.store import save_snapshot, snapshot_digest
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(**knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), 3, 9.0, REGION, **knobs)
+
+
+def raw_post(port: int, path: str, body: dict | None) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        conn.request(
+            "POST", path, body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def network():
+    return make_network()
+
+
+@pytest.fixture(scope="module")
+def snapshot(network, tmp_path_factory):
+    path = tmp_path_factory.mktemp("admin") / "snap"
+    save_snapshot(MACEngine(network), path)
+    return str(path)
+
+
+class TestPoolAdmin:
+    @pytest.fixture
+    def service(self, network):
+        with WorkerPool(MACEngine(network), 2) as pool:
+            svc = MACService(executor=PoolExecutor(pool), port=0)
+            with svc:
+                yield svc
+
+    @pytest.fixture
+    def client(self, service):
+        with ServiceClient(port=service.port) as c:
+            yield c
+
+    def test_reload_swaps_the_fleet(self, service, client, snapshot):
+        before = client.healthz()["snapshot"]
+        assert before["generation"] == 0 and before["source"] is None
+
+        summary = client.reload(snapshot)
+        assert summary["generation"] == 1
+        assert summary["workers"] == 2
+        assert summary["index_digest"] == snapshot_digest(snapshot)
+
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["snapshot"] == {
+            "fingerprint": summary["fingerprint"],
+            "generation": 1,
+            "source": snapshot,
+            "index_digest": summary["index_digest"],
+        }
+        assert all(
+            w["generation"] == 1
+            for w in health["workers"]["workers"]
+        )
+        assert client.search(make_request()).partitions
+        assert client.metrics()["service"]["reloads"] == 1
+
+    def test_reload_without_any_snapshot_is_400(self, client):
+        # The service booted without --snapshot, so a bare reload has
+        # nothing to reload — a client error, not a server fault.
+        with pytest.raises(QueryError, match="no snapshot to reload"):
+            client.reload()
+
+    def test_reload_bad_path_is_409_fleet_untouched(self, service, client):
+        before = client.healthz()["snapshot"]
+        status, payload = raw_post(
+            service.port, "/v1/admin/reload",
+            {"snapshot": "/nonexistent/snapshot"},
+        )
+        assert status == 409
+        assert payload["error"]["type"] == "ReloadError"
+        with pytest.raises(ReloadError, match="rolled back"):
+            client.reload("/nonexistent/snapshot")
+        assert client.healthz()["snapshot"] == before
+        assert client.search(make_request()).partitions
+
+    def test_resize_grows_and_shrinks(self, client):
+        grown = client.resize(3)
+        assert grown["workers"] == 3 and grown["previous"] == 2
+        assert client.healthz()["workers"]["total"] == 3
+        shrunk = client.resize(2)
+        assert shrunk["retired"] == 1
+        assert client.healthz()["workers"]["total"] == 2
+        assert client.search(make_request()).partitions
+        assert client.metrics()["service"]["resizes"] == 2
+
+    def test_resize_bad_workers_is_400(self, service, client):
+        with pytest.raises(QueryError, match="positive integer"):
+            client.resize(0)
+        for body in ({}, {"workers": "three"}, {"workers": True}):
+            status, payload = raw_post(
+                service.port, "/v1/admin/resize", body
+            )
+            assert status == 400
+            assert payload["error"]["type"] == "QueryError"
+
+    def test_admin_endpoints_accept_empty_bodies(self, service, snapshot):
+        # POST with no body at all is a valid bare reload/resize probe:
+        # admin bodies are optional, unlike query bodies.
+        status, payload = raw_post(
+            service.port, "/v1/admin/reload", {"snapshot": snapshot}
+        )
+        assert status == 200 and payload["ok"]
+        status, payload = raw_post(service.port, "/v1/admin/resize", None)
+        assert status == 400  # missing "workers" — parsed, then rejected
+        assert payload["error"]["type"] == "QueryError"
+
+
+class TestThreadsAdmin:
+    @pytest.fixture
+    def service(self, network, snapshot):
+        engine = MACEngine.load(snapshot, network)
+        svc = MACService(
+            executor=EngineExecutor(
+                engine, source=snapshot,
+                index_digest=snapshot_digest(snapshot),
+            ),
+            port=0,
+            snapshot_path=snapshot,
+        )
+        with svc:
+            yield svc
+
+    @pytest.fixture
+    def client(self, service):
+        with ServiceClient(port=service.port) as c:
+            yield c
+
+    def test_bare_reload_uses_the_boot_snapshot(self, client, snapshot):
+        before = client.healthz()["snapshot"]
+        assert before["source"] == snapshot
+        summary = client.reload()
+        assert summary["generation"] == before["generation"] + 1
+        assert summary["workers"] == 0  # no fleet: one engine swap
+        assert client.healthz()["snapshot"]["generation"] == 1
+        assert client.search(make_request()).partitions
+
+    def test_resize_has_no_fleet_to_resize(self, client):
+        with pytest.raises(ReloadError, match="no worker fleet"):
+            client.resize(4)

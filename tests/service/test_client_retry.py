@@ -1,13 +1,14 @@
-"""Client-side replay of connection resets (the worker-crash signature)."""
+"""Client-side retries: connection resets and 429 back-pressure."""
 
 import json
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloaded
 from repro.service import ServiceClient
 
 
@@ -94,3 +95,117 @@ class TestResetRetry:
             client.close()
         finally:
             server.close()
+
+
+class OverloadThenServe:
+    """Raw HTTP stub: answers 429 (typed ``ServiceOverloaded`` payload
+    with a ``Retry-After`` hint) for the first ``rejections`` requests,
+    then 200 — the shape of a server shedding a load spike."""
+
+    def __init__(self, rejections: int, retry_after: float = 0.05) -> None:
+        self.rejections = rejections
+        self.retry_after = retry_after
+        self.requests = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        self.port = self._sock.getsockname()[1]
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            self.requests += 1
+            if self.requests <= self.rejections:
+                body = json.dumps({
+                    "error": {
+                        "type": "ServiceOverloaded",
+                        "message": "server is at capacity",
+                        "retry_after": self.retry_after,
+                    }
+                }).encode()
+                status = b"429 Too Many Requests"
+            else:
+                body = json.dumps({"status": "ok"}).encode()
+                status = b"200 OK"
+            conn.sendall(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body
+            )
+            conn.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestOverloadRetry:
+    def test_default_is_fail_fast(self):
+        server = OverloadThenServe(rejections=1)
+        try:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceOverloaded):
+                    client.healthz()
+            assert server.requests == 1
+        finally:
+            server.close()
+
+    def test_bounded_retry_absorbs_the_spike(self):
+        server = OverloadThenServe(rejections=2, retry_after=0.05)
+        try:
+            client = ServiceClient(
+                port=server.port, retry_overloaded=2,
+                retry_backoff=0.01,
+            )
+            started = time.monotonic()
+            assert client.healthz() == {"status": "ok"}
+            # Two sleeps happened, each at least the jittered-down
+            # server hint (0.75 * 0.05 each).
+            assert time.monotonic() - started >= 2 * 0.75 * 0.05
+            assert server.requests == 3
+            client.close()
+        finally:
+            server.close()
+
+    def test_budget_exhausted_surfaces_typed(self):
+        server = OverloadThenServe(rejections=100, retry_after=0.01)
+        try:
+            client = ServiceClient(
+                port=server.port, retry_overloaded=2,
+                retry_backoff=0.01,
+            )
+            with pytest.raises(ServiceOverloaded, match="capacity"):
+                client.healthz()
+            assert server.requests == 3  # 1 attempt + 2 retries, bounded
+            client.close()
+        finally:
+            server.close()
+
+    def test_backoff_is_capped(self):
+        server = OverloadThenServe(rejections=1, retry_after=60.0)
+        try:
+            client = ServiceClient(
+                port=server.port, retry_overloaded=1,
+                retry_backoff=0.01, retry_backoff_cap=0.05,
+            )
+            started = time.monotonic()
+            assert client.healthz() == {"status": "ok"}
+            # The 60s server hint is clamped by the client-side cap
+            # (plus at most +25% jitter).
+            assert time.monotonic() - started < 5.0
+        finally:
+            server.close()
+
+    def test_negative_budget_is_typed(self):
+        with pytest.raises(ServiceError, match="retry_overloaded"):
+            ServiceClient(retry_overloaded=-1)
