@@ -14,8 +14,10 @@ Usage (what the ``bench-trajectory`` CI job runs)::
     python bench_kernels.py --quick --output /tmp/kernels.json
     python bench_snapshot.py --quick --output /tmp/snapshot.json
     python bench_pool.py --quick --output /tmp/pool.json
+    python bench_search.py --quick --output /tmp/search.json
     python check_trajectory.py --kernels /tmp/kernels.json \
-        --snapshot /tmp/snapshot.json --pool /tmp/pool.json
+        --snapshot /tmp/snapshot.json --pool /tmp/pool.json \
+        --search /tmp/search.json
 """
 
 from __future__ import annotations
@@ -55,6 +57,10 @@ def main(argv: list[str] | None = None) -> int:
         help="fresh bench_pool.py --quick output (optional)",
     )
     parser.add_argument(
+        "--search", type=Path, default=None,
+        help="fresh bench_search.py --quick output (optional)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed fraction below the floor before failing "
              "(default 0.30)",
@@ -78,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.pool is not None:
         pool = json.loads(args.pool.read_text())
         measured[POOL_KEY] = pool["efficiency"]
+    if args.search is not None:
+        search = json.loads(args.search.read_text())
+        for name, entry in search.get("search", {}).items():
+            measured[name] = entry["speedup"]
 
     failures = []
     print(f"== perf trajectory vs {args.baseline.name} "
@@ -91,6 +101,10 @@ def main(argv: list[str] | None = None) -> int:
             if name == POOL_KEY and args.pool is None:
                 print(f"{name:24s} floor {floor:6.2f}x   skipped "
                       f"(no --pool)")
+                continue
+            if name.startswith("search_") and args.search is None:
+                print(f"{name:24s} floor {floor:6.2f}x   skipped "
+                      f"(no --search)")
                 continue
             failures.append(f"{name}: no measurement in the fresh run")
             print(f"{name:24s} floor {floor:6.2f}x   MISSING")

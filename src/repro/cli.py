@@ -112,6 +112,8 @@ def cmd_search(args: argparse.Namespace) -> int:
         # Pin the strategy: a one-shot command must not pay the engine's
         # auto G-tree build for a single query.
         use_gtree=args.gtree,
+        deadline=args.deadline,
+        anytime=args.anytime,
     )
     if args.explain:
         plan = engine.explain(request)
@@ -127,6 +129,11 @@ def cmd_search(args: argparse.Namespace) -> int:
         print(json.dumps(result_to_wire(result), indent=2))
         return 0
     print(result.summary())
+    if result.partial and result.progress:
+        print(
+            "partial result (deadline expired); progress: "
+            + ", ".join(f"{k}={v}" for k, v in result.progress.items())
+        )
     if args.members and result.partitions:
         for i, entry in enumerate(result.partitions):
             print(f"partition {i} best: {sorted(entry.best.members)}")
@@ -282,11 +289,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         info = result.extra.get("engine", {})
         cache = info.get("cache", {})
         hits = sum(1 for v in cache.values() if v == "hit")
+        mark = ""
+        if result.partial:
+            progress = ", ".join(
+                f"{k}={v}" for k, v in result.progress.items()
+            )
+            mark = f" [partial{': ' + progress if progress else ''}]"
         print(
             f"{request.label}: {len(result.partitions)} partition(s), "
             f"{len(result.communities())} distinct MAC(s), "
             f"|H^t_k|={result.htk_vertices}, {result.elapsed:.3f}s, "
-            f"cache hits {hits}/{len(cache)}"
+            f"cache hits {hits}/{len(cache)}{mark}"
         )
     tel = engine.telemetry()
     print(
@@ -574,6 +587,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", choices=("auto", "global", "local"), default="local"
     )
     p_search.add_argument("--gtree", action="store_true")
+    p_search.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; expiry raises DeadlineExceeded "
+             "(or returns a partial result with --anytime)",
+    )
+    p_search.add_argument(
+        "--anytime", action="store_true",
+        help="on deadline expiry, return the best-so-far feasible "
+             "community marked partial instead of failing",
+    )
     p_search.add_argument(
         "--members", action="store_true", help="print community members"
     )

@@ -38,7 +38,14 @@ from repro.social.roadsocial import RoadSocialNetwork
 
 @dataclass
 class MACSearchResult:
-    """Outcome of a MAC search: partitions of R with their communities."""
+    """Outcome of a MAC search: partitions of R with their communities.
+
+    ``partial`` marks an anytime answer: the deadline expired and the
+    result holds the best feasible communities found so far instead of
+    the complete, certified set (see ``MACRequest.anytime``).
+    ``progress`` then records how far the search got (tasks done, peel
+    rounds, candidates seen); it is empty for exact results.
+    """
 
     query: MACQuery
     partitions: list[PartitionEntry]
@@ -47,6 +54,8 @@ class MACSearchResult:
     htk_vertices: int = 0
     htk_edges: int = 0
     extra: dict = field(default_factory=dict)
+    partial: bool = False
+    progress: dict = field(default_factory=dict)
 
     @property
     def is_empty(self) -> bool:
@@ -73,16 +82,17 @@ class MACSearchResult:
 
     def summary(self, max_rows: int = 10) -> str:
         """Human-readable digest of the result (one line per partition)."""
+        mark = " [partial]" if self.partial else ""
         if self.is_empty:
             return (
                 f"MAC search {self.query.query}: no maximal (k,t)-core — "
-                f"no communities ({self.elapsed:.3f}s)"
+                f"no communities{mark} ({self.elapsed:.3f}s)"
             )
         lines = [
             f"MAC search Q={self.query.query} k={self.query.k} "
             f"t={self.query.t:g}: {len(self.partitions)} partition(s), "
             f"{len(self.communities())} distinct MAC(s), "
-            f"|H^t_k|={self.htk_vertices}, {self.elapsed:.3f}s"
+            f"|H^t_k|={self.htk_vertices}, {self.elapsed:.3f}s{mark}"
         ]
         for i, entry in enumerate(self.partitions[:max_rows]):
             w = entry.sample_weight()
@@ -111,6 +121,9 @@ def mac_search(
     refinement: str = "arrangement",
     certification: str = "fast",
     time_budget: float | None = None,
+    backend: str | None = None,
+    deadline: float | None = None,
+    anytime: bool = False,
 ) -> MACSearchResult:
     """Run one MAC search end to end (one-shot engine delegation).
 
@@ -138,6 +151,13 @@ def mac_search(
         Algorithm 1 — all pairwise leaf half-spaces) or ``"envelope"``
         (lower-envelope ablation: refine only against the current
         minimum; same non-contained MACs, far fewer partitions).
+    backend:
+        ``"flat"`` / ``"python"`` / ``"auto"`` compute backend (None:
+        engine default) — covers the search loops too.
+    deadline, anytime:
+        Wall-clock budget in seconds; with ``anytime=True`` expiry
+        returns the best-so-far feasible community (``partial=True``)
+        instead of raising :class:`~repro.errors.DeadlineExceeded`.
     """
     from repro.engine import MACEngine, MACRequest
 
@@ -156,6 +176,9 @@ def mac_search(
         refinement=refinement,
         certification=certification,
         time_budget=time_budget,
+        backend=backend,
+        deadline=deadline,
+        anytime=anytime,
     )
     return MACEngine(network).search(request)
 
@@ -173,6 +196,9 @@ _WRAPPER_KWARGS = frozenset(
         "refinement",
         "certification",
         "time_budget",
+        "backend",
+        "deadline",
+        "anytime",
     }
 )
 

@@ -22,6 +22,8 @@ from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.deadline import Deadline
 from repro.dominance.graph import DominanceGraph
 from repro.errors import QueryError
@@ -29,6 +31,12 @@ from repro.geometry.cell import Cell
 from repro.geometry.partition_tree import PartitionTree
 from repro.geometry.region import PreferenceRegion
 from repro.graph.adjacency import AdjacencyGraph
+from repro.kernels.flatgraph import FlatGraph
+from repro.kernels.search import (
+    alive_degrees,
+    cascade_rows,
+    restrict_rows_incremental,
+)
 from repro.core.peeling import (
     cascade_delete_recoverable,
     restore_removed,
@@ -63,6 +71,8 @@ class GlobalSearch:
         refinement: str = "arrangement",
         time_budget: float | None = None,
         deadline: Deadline | None = None,
+        flat: FlatGraph | None = None,
+        anytime: bool = False,
     ) -> None:
         if refinement not in ("arrangement", "envelope"):
             raise QueryError(f"unknown refinement {refinement!r}")
@@ -88,11 +98,99 @@ class GlobalSearch:
         #: every task and peeling round — this is what tames GS-T's
         #: partition explosion into a typed, bounded failure.
         self.deadline = deadline
+        #: Optional CSR view of ``htk`` (same vertex set).  When given,
+        #: the per-task peeling runs over int row arrays with batch
+        #: degree updates instead of dict subgraph copies — the "flat"
+        #: search backend.  Subclasses that override :meth:`_cascade`
+        #: for other cohesiveness metrics (e.g. the k-truss extension)
+        #: simply never pass it and keep the reference path.
+        self.flat = flat
+        self._qrows: list[int] = [] if flat is None else flat.rows_of(
+            self.query
+        )
+        #: Anytime mode: on deadline expiry, the in-progress and queued
+        #: tasks are flushed as best-so-far results instead of raising.
+        #: Their alive sets are feasible (connected k-cores ⊇ Q for the
+        #: whole cell — structure does not depend on w), just not
+        #: certified non-contained; ``partial`` marks them.
+        self.anytime = anytime
+        self.partial = False
+        self._partial_from: int | None = None
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------
     # leaf maintenance on the alive-restricted dominance graph
     # ------------------------------------------------------------------
+    #: Packed-closure size cap for the flat leaf test: the bitset
+    #: closures cost 2 * n * ceil(n / 8) bytes (64 MiB at the cap);
+    #: beyond it the reachability walk wins on memory.
+    _CLOSURE_MAX = 16384
+
+    def _desc_closure(self) -> np.ndarray:
+        """Packed transitive-descendant bitsets over flat rows.
+
+        One row per flat row, one bit per *strict* descendant.  Built
+        along ``gd.order`` (a topological order, so a single OR-sweep
+        suffices) and cached on the dominance graph — ``gd`` outlives
+        this searcher, and the closure is a pure function of
+        (gd, flat).
+        """
+        fg = self.flat
+        cached = getattr(self.gd, "_flat_desc_closure", None)
+        if cached is not None and cached[0] is fg:
+            return cached[1]
+        n = fg.n
+        bit = np.left_shift(np.uint8(1), 7 - (np.arange(n) & 7))
+        desc = np.zeros((n, (n + 7) // 8), np.uint8)
+        order_rows = fg.rows_of(self.gd.order)
+        for v, r in zip(reversed(self.gd.order), reversed(order_rows)):
+            kids = self.gd.children[v]
+            if kids:
+                row = desc[r]
+                for c in fg.rows_of(kids):
+                    row |= desc[c]
+                    row[c >> 3] |= bit[c]
+        self.gd._flat_desc_closure = (fg, desc)
+        return desc
+
+    def _updated_leaves_flat(
+        self,
+        leaves: frozenset[int],
+        batch: frozenset[int],
+        mask: np.ndarray,
+    ) -> frozenset[int]:
+        """Flat-backend leaf update: the reference candidate walk with
+        the per-candidate ``_is_leaf`` reachability replaced by one
+        packed AND row against the alive mask (``desc ∩ alive = ∅``) —
+        the leaf test dominates the walk, and the closure turns it
+        from a DAG traversal into a 1-row vector op."""
+        fg = self.flat
+        desc = self._desc_closure()
+        alive_packed = np.packbits(mask)
+        out = set(leaves) - batch
+        candidates: list[int] = []
+        stack = [p for b in batch for p in self.gd.parents[b]]
+        seen: set[int] = set()
+        rows_alive = mask  # row-indexed aliveness, in sync with alive
+        row_of = fg.row_of
+        while stack:
+            p = stack.pop()
+            if p in seen:
+                continue
+            seen.add(p)
+            if rows_alive[row_of(p)]:
+                if p not in out:
+                    candidates.append(p)
+            else:
+                stack.extend(self.gd.parents[p])
+        if candidates:
+            cand_rows = np.asarray(fg.rows_of(candidates), np.int64)
+            is_leaf = ~(desc[cand_rows] & alive_packed).any(axis=1)
+            out.update(
+                p for p, ok in zip(candidates, is_leaf.tolist()) if ok
+            )
+        return frozenset(out)
+
     def _is_leaf(self, v: int, alive: frozenset[int]) -> bool:
         """No alive strict descendant (walking through dead vertices)."""
         stack = list(self.gd.children[v])
@@ -149,8 +247,11 @@ class GlobalSearch:
         known to satisfy S(v) >= S(u) over this task's cell (the cell is
         fixed between peeling rounds of one task).
         """
+        # Sorted like _pairwise_crossing: half-space insertion order
+        # shapes the partition tree, and set iteration order is an
+        # insertion-history artifact the two backends don't share.
         crossing = []
-        for v in leaves:
+        for v in sorted(leaves):
             if v == u_min or (v, u_min) in dominated:
                 continue
             h = self.gd.halfspace(v, u_min)
@@ -199,6 +300,15 @@ class GlobalSearch:
         for other cohesiveness metrics, e.g. the k-truss extension)."""
         return cascade_delete_recoverable(graph, trigger, self.k)
 
+    def _drain_partial(self, results, queue, current) -> None:
+        """Anytime expiry: flush current + queued tasks as best-so-far."""
+        self.partial = True
+        self._partial_from = len(results)
+        results.append(current)
+        for alive, batches, _leaves, cell in queue:
+            results.append((cell, alive, batches))
+        queue.clear()
+
     # ------------------------------------------------------------------
     def run(self) -> list[tuple[Cell, frozenset[int], tuple[frozenset[int], ...]]]:
         """Execute the search; returns (cell, final alive set, batches)."""
@@ -220,7 +330,14 @@ class GlobalSearch:
             alive, batches, leaves, cell = queue.popleft()
             self.stats.tasks += 1
             if self.deadline is not None:
-                self.deadline.check("global search")
+                if self.anytime:
+                    if self.deadline.expired():
+                        self._drain_partial(
+                            results, queue, (cell, alive, batches)
+                        )
+                        break
+                else:
+                    self.deadline.check("global search")
             if (
                 deadline is not None
                 and self.stats.tasks % 16 == 0
@@ -231,10 +348,19 @@ class GlobalSearch:
                     f"({self.time_budget}s)"
                 )
             graph = None  # built lazily: split-only tasks never peel
+            mask = None  # flat backend: lazy alive mask + degree array
+            deg = None
             dominated: set[tuple[int, int]] = set()
             while True:
                 if self.deadline is not None:
-                    self.deadline.check("global search peeling")
+                    if self.anytime:
+                        if self.deadline.expired():
+                            self._drain_partial(
+                                results, queue, (cell, alive, batches)
+                            )
+                            break
+                    else:
+                        self.deadline.check("global search peeling")
                 u = self._smallest_leaf(leaves, cell)
                 if self.refinement == "arrangement":
                     crossing = self._pairwise_crossing(
@@ -265,32 +391,71 @@ class GlobalSearch:
                     results.append((cell, alive, batches))
                     break
                 self.stats.peel_rounds += 1
-                if graph is None:
-                    graph = self.htk.subgraph(alive)
-                removed = self._cascade(graph, u)
-                deleted = {v for v, _nbrs in removed}
-                if deleted & self.query_set:
-                    results.append((cell, alive, batches))
-                    restore_removed(graph, removed)
-                    break
-                dropped = restrict_to_query_component(graph, self.query)
-                if dropped is None:
-                    results.append((cell, alive, batches))
-                    restore_removed(graph, removed)
-                    break
-                batch = frozenset(deleted | dropped)
+                if self.flat is not None:
+                    # Flat path: batch cascade + component restriction
+                    # over row masks.  On the Corollary-1 breaks the
+                    # mutated mask is simply discarded (the reference
+                    # path restores its subgraph only to break too).
+                    fg = self.flat
+                    if mask is None:
+                        mask = np.zeros(fg.n, bool)
+                        mask[fg.rows_of(alive)] = True
+                        deg = alive_degrees(fg, mask)
+                    removed_rows = cascade_rows(
+                        fg, deg, mask, fg.row_of(u), self.k
+                    )
+                    ids = fg.ids
+                    deleted = {ids[i] for i in removed_rows.tolist()}
+                    if deleted & self.query_set:
+                        results.append((cell, alive, batches))
+                        break
+                    dropped_rows = restrict_rows_incremental(
+                        fg, mask, self._qrows, removed_rows
+                    )
+                    if dropped_rows is None:
+                        results.append((cell, alive, batches))
+                        break
+                    batch = frozenset(
+                        deleted | {ids[i] for i in dropped_rows.tolist()}
+                    )
+                else:
+                    if graph is None:
+                        graph = self.htk.subgraph(alive)
+                    removed = self._cascade(graph, u)
+                    deleted = {v for v, _nbrs in removed}
+                    if deleted & self.query_set:
+                        results.append((cell, alive, batches))
+                        restore_removed(graph, removed)
+                        break
+                    dropped = restrict_to_query_component(
+                        graph, self.query
+                    )
+                    if dropped is None:
+                        results.append((cell, alive, batches))
+                        restore_removed(graph, removed)
+                        break
+                    batch = frozenset(deleted | dropped)
                 alive = alive - batch
                 batches = batches + (batch,)
-                leaves = self._updated_leaves(leaves, batch, alive)
+                if self.flat is not None and self.flat.n <= self._CLOSURE_MAX:
+                    leaves = self._updated_leaves_flat(leaves, batch, mask)
+                else:
+                    leaves = self._updated_leaves(leaves, batch, alive)
         self.stats.partitions = len(results)
         return results
 
     # ------------------------------------------------------------------
+    def _is_partial(self, index: int) -> bool:
+        """Whether result ``index`` was flushed by an anytime drain."""
+        return self._partial_from is not None and index >= self._partial_from
+
     def search_nc(self) -> list[PartitionEntry]:
         """Problem 2: the non-contained MAC per partition of R."""
         return [
-            PartitionEntry(cell, [Community(alive)])
-            for cell, alive, _batches in self.run()
+            PartitionEntry(
+                cell, [Community(alive, partial=self._is_partial(i))]
+            )
+            for i, (cell, alive, _batches) in enumerate(self.run())
         ]
 
     def search_topj(self, j: int) -> list[PartitionEntry]:
@@ -303,13 +468,14 @@ class GlobalSearch:
         if j < 1:
             raise QueryError(f"j must be >= 1, got {j}")
         entries = []
-        for cell, alive, batches in self.run():
-            chain = [Community(alive)]
+        for i, (cell, alive, batches) in enumerate(self.run()):
+            partial = self._is_partial(i)
+            chain = [Community(alive, partial=partial)]
             current = set(alive)
             for batch in reversed(batches):
                 if len(chain) >= j:
                     break
                 current |= batch
-                chain.append(Community(current))
+                chain.append(Community(current, partial=partial))
             entries.append(PartitionEntry(cell, chain))
         return entries

@@ -23,6 +23,8 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.deadline import Deadline
 from repro.dominance.graph import DominanceGraph
 from repro.errors import QueryError
@@ -31,6 +33,13 @@ from repro.geometry.partition_tree import PartitionTree
 from repro.geometry.region import PreferenceRegion
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.core import k_core_containing
+from repro.kernels.flatgraph import FlatGraph
+from repro.kernels.search import (
+    alive_degrees,
+    cascade_rows,
+    k_core_containing_rows,
+    restrict_rows,
+)
 from repro.core.global_search import SearchStats
 from repro.core.peeling import (
     cascade_delete,
@@ -76,14 +85,32 @@ def expand(
     max_candidates: int = 24,
     max_vertices: int | None = None,
     deadline: Deadline | None = None,
+    flat: FlatGraph | None = None,
+    anytime: bool = False,
 ) -> list[frozenset[int]]:
     """Algorithm 4: candidate communities around Q, smallest first.
 
     ``strategy`` selects the priority function: ``"eq3"`` (degree-driven,
-    Eq. 3) or ``"eq4"`` (min-degree-gain-driven, Eq. 4).
+    Eq. 3) or ``"eq4"`` (min-degree-gain-driven, Eq. 4).  The frontier is
+    a push-style best-first queue (the Andersen et al. PPR-push idiom):
+    adding a member *pushes* priority increments to its neighbors instead
+    of recomputing scores from scratch, so good communities surface
+    early.  ``flat`` selects the array-backed implementation (a
+    :func:`~repro.kernels.search.search_flatgraph` view of ``htk``);
+    both paths visit vertices in the identical order — neighbor pushes
+    happen in sorted order, stale entries re-enter the heap with their
+    original tie-break counter — so the candidate stream is
+    bit-identical across backends.  With ``anytime`` set, deadline
+    expiry stops the expansion and returns the candidates found so far
+    instead of raising.
     """
     if strategy not in ("eq3", "eq4"):
         raise QueryError(f"unknown expand strategy {strategy!r}")
+    if flat is not None:
+        return _expand_flat(
+            flat, gd, query, k, strategy, max_candidates,
+            max_vertices, deadline, anytime,
+        )
     q = sorted(set(query))
     members: set[int] = set(q)
     degree_in = {v: 0 for v in q}
@@ -127,7 +154,7 @@ def expand(
         in_heap.add(v)
 
     for v in q:
-        for u in htk.neighbors(v):
+        for u in sorted(htk.neighbors(v)):
             if u not in members and u not in in_heap:
                 push(u)
 
@@ -136,7 +163,11 @@ def expand(
     deficient = sum(1 for v in members if degree_in[v] < k)
     while heap and len(candidates) < max_candidates and len(members) <= budget:
         if deadline is not None:
-            deadline.check("local expand")
+            if anytime:
+                if deadline.expired():
+                    break
+            else:
+                deadline.check("local expand")
         neg_p, _count, v = heapq.heappop(heap)
         if v in members:
             continue
@@ -147,7 +178,7 @@ def expand(
         members.add(v)
         uf.add(v)
         degree_in[v] = 0
-        for u in htk.neighbors(v):
+        for u in sorted(htk.neighbors(v)):
             if u in members:
                 if degree_in[u] == k - 1:
                     deficient -= 1
@@ -165,6 +196,127 @@ def expand(
     return candidates
 
 
+def _expand_flat(
+    fg: FlatGraph,
+    gd: DominanceGraph,
+    query: Iterable[int],
+    k: int,
+    strategy: str,
+    max_candidates: int,
+    max_vertices: int | None,
+    deadline: Deadline | None,
+    anytime: bool,
+) -> list[frozenset[int]]:
+    """Array-backed Expand over a row-sorted CSR view of H^t_k.
+
+    The push idiom pays off here: ``gain[r]`` (member neighbors of row
+    r) is maintained incrementally by one increment per pushed edge, so
+    a priority read is O(1) for Eq. 3 instead of a neighbor scan —
+    recomputation at pop time (the lazy-stale check) becomes an array
+    lookup.  Row order equals ascending id order and the CSR rows are
+    pre-sorted, so heap contents match the reference path exactly.
+    """
+    q = sorted(set(query))
+    n = fg.n
+    indptr, indices, ids = fg.indptr, fg.indices, fg.ids
+    qrows = fg.rows_of(q)
+    member = np.zeros(n, bool)
+    member[qrows] = True
+    degree_in = np.zeros(n, np.int64)
+    gain = np.zeros(n, np.int64)
+    uf = _UnionFind()
+    for r in qrows:
+        uf.add(r)
+    for r in qrows:
+        for u in indices[indptr[r]:indptr[r + 1]].tolist():
+            if member[u]:
+                degree_in[r] += 1
+                uf.union(r, u)
+            else:
+                gain[u] += 1
+    zeta = max(ZETA, gd.max_layer() + 1)
+    layer = np.fromiter((gd.layer(v) for v in ids), np.int64, count=n)
+    # Members as a preallocated fill buffer: ``member_buf[:size]`` is
+    # the live member-row array, appended to in O(1) (rebuilding an
+    # ndarray per add is quadratic in community size).
+    member_buf = np.empty(n, np.int64)
+    member_buf[: len(qrows)] = qrows
+    size = len(qrows)
+    scratch = np.zeros(n, bool)
+
+    def priority(r: int) -> int:
+        g = int(gain[r])
+        if strategy == "eq3":
+            return LAMBDA * g + zeta - int(layer[r])
+        member_arr = member_buf[:size]
+        current_min = int(degree_in[member_arr].min())
+        nbr = indices[indptr[r]:indptr[r + 1]]
+        mn = nbr[member[nbr]]
+        scratch[mn] = True
+        joined = degree_in[member_arr] + scratch[member_arr]
+        scratch[mn] = False
+        joined_min = min(int(joined.min()), g)
+        f1 = 1 if joined_min > current_min else 0
+        return zeta * f1 + zeta - int(layer[r])
+
+    counter = 0
+    heap: list[tuple[int, int, int]] = []
+    in_heap = np.zeros(n, bool)
+
+    def push(r: int) -> None:
+        nonlocal counter
+        counter += 1
+        heapq.heappush(heap, (-priority(r), counter, r))
+        in_heap[r] = True
+
+    for r in qrows:
+        for u in indices[indptr[r]:indptr[r + 1]].tolist():
+            if not member[u] and not in_heap[u]:
+                push(u)
+
+    candidates: list[frozenset[int]] = []
+    member_ids: set[int] = set(q)
+    budget = max_vertices if max_vertices is not None else n
+    deficient = sum(1 for r in qrows if degree_in[r] < k)
+    while heap and len(candidates) < max_candidates and size <= budget:
+        if deadline is not None:
+            if anytime:
+                if deadline.expired():
+                    break
+            else:
+                deadline.check("local expand")
+        neg_p, _count, r = heapq.heappop(heap)
+        if member[r]:
+            continue
+        current_p = -priority(r)
+        if current_p < neg_p:  # stale priority: degree grew since push
+            heapq.heappush(heap, (current_p, _count, r))
+            continue
+        member[r] = True
+        uf.add(r)
+        member_buf[size] = r
+        member_ids.add(ids[r])
+        size += 1
+        for u in indices[indptr[r]:indptr[r + 1]].tolist():
+            if member[u]:
+                if degree_in[u] == k - 1:
+                    deficient -= 1
+                degree_in[u] += 1
+                degree_in[r] += 1
+                uf.union(r, u)
+            else:
+                gain[u] += 1
+                if not in_heap[u]:
+                    push(u)
+        if degree_in[r] < k:
+            deficient += 1
+        if deficient == 0:
+            roots = {uf.find(x) for x in qrows}
+            if len(roots) == 1:
+                candidates.append(frozenset(member_ids))
+    return candidates
+
+
 class LocalSearch:
     """Algorithms 3-5 over a prepared H^t_k and its r-dominance graph."""
 
@@ -179,6 +331,8 @@ class LocalSearch:
         max_candidates: int = 24,
         certification: str = "fast",
         deadline: Deadline | None = None,
+        flat: FlatGraph | None = None,
+        anytime: bool = False,
     ) -> None:
         if certification not in ("fast", "chain"):
             raise QueryError(f"unknown certification {certification!r}")
@@ -199,9 +353,60 @@ class LocalSearch:
         #: Checked per expand step, per threshold probe, and per
         #: candidate verification.
         self.deadline = deadline
+        #: Optional CSR view of ``htk`` (same vertex set) — the "flat"
+        #: search backend: expand, the k-ĉore probes, and the peeling
+        #: certifications run over int row arrays with batch degree
+        #: updates instead of dict subgraph copies.
+        self.flat = flat
+        self._qrows: list[int] = [] if flat is None else flat.rows_of(
+            tuple(sorted(set(query)))
+        )
+        #: Anytime mode: deadline expiry stops the search and returns
+        #: the certified entries found so far (``partial`` set) instead
+        #: of raising.
+        self.anytime = anytime
+        self.partial = False
         self.stats = SearchStats()
         self._all = frozenset(htk.vertices())
         self._bound_memo: dict[tuple[int, frozenset[int]], bool] = {}
+
+    def _checkpoint(self, stage: str) -> bool:
+        """Deadline gate: True means "stop here" (anytime expiry).
+
+        Without anytime this raises :class:`DeadlineExceeded` exactly
+        like the direct ``deadline.check`` calls it replaces.
+        """
+        if self.deadline is None:
+            return False
+        if self.anytime:
+            if self.deadline.expired():
+                self.partial = True
+                return True
+            return False
+        self.deadline.check(stage)
+        return False
+
+    def _kcore_members(self, vertices) -> frozenset[int] | None:
+        """Members of the connected k-ĉore of H^t_k[vertices] around Q.
+
+        The one k-core probe every Verify helper reduces to; the flat
+        path peels a row mask in place of building a dict subgraph.
+        ``None`` when no such core exists (including Q ⊄ vertices).
+        """
+        if self.flat is not None:
+            fg = self.flat
+            mask = np.zeros(fg.n, bool)
+            mask[fg.rows_of(vertices)] = True
+            comp = k_core_containing_rows(fg, mask, self._qrows, self.k)
+            if comp is None:
+                return None
+            return frozenset(fg.select_ids(comp))
+        core = k_core_containing(
+            self.htk.subgraph(vertices), self.query, self.k
+        )
+        if core is None:
+            return None
+        return frozenset(core.vertices())
 
     # ------------------------------------------------------------------
     # Corollary 2 / Lemma 8 machinery
@@ -218,8 +423,7 @@ class LocalSearch:
         memo = self._bound_memo.get(key)
         if memo is not None:
             return memo
-        sub = self.htk.subgraph(members | {v})
-        core = k_core_containing(sub, self.query, self.k)
+        core = self._kcore_members(members | {v})
         survives = core is not None and v in core
         self._bound_memo[key] = survives
         return survives
@@ -267,9 +471,7 @@ class LocalSearch:
         """
         if not bound:
             return False
-        core = k_core_containing(
-            self.htk.subgraph(members | bound), self.query, self.k
-        )
+        core = self._kcore_members(members | bound)
         return core is not None and any(v in core for v in bound)
 
     def _anchors(
@@ -280,8 +482,7 @@ class LocalSearch:
         for v in leaves:
             if v in self.query_set:
                 continue
-            sub = self.htk.subgraph(members - {v})
-            if k_core_containing(sub, self.query, self.k) is not None:
+            if self._kcore_members(members - {v}) is not None:
                 anchors.append(v)
         return anchors
 
@@ -291,7 +492,7 @@ class LocalSearch:
         w = cell.interior_point()
         scores = {v: self.gd.score_at(v, w) for v in self._all}
         chain, _batches = deletion_chain(
-            self.htk, self.query, self.k, scores
+            self.htk, self.query, self.k, scores, flat=self.flat
         )
         return frozenset(chain[-1]) == members
 
@@ -313,6 +514,16 @@ class LocalSearch:
         )
         if u in self.query_set:
             return True  # Corollary 1(1)
+        if self.flat is not None:
+            fg = self.flat
+            mask = np.zeros(fg.n, bool)
+            mask[fg.rows_of(members)] = True
+            deg = alive_degrees(fg, mask)
+            removed = cascade_rows(fg, deg, mask, fg.row_of(u), self.k)
+            ids = fg.ids
+            if {ids[i] for i in removed.tolist()} & self.query_set:
+                return True  # Corollary 1(2)
+            return restrict_rows(fg, mask, self._qrows) is None
         sub = self.htk.subgraph(members)
         deleted = cascade_delete(sub, u, self.k)
         if deleted & self.query_set:
@@ -396,8 +607,8 @@ class LocalSearch:
         out: list[frozenset[int]] = []
         seen_rankings: set[tuple[int, ...]] = set()
         for w in probes:
-            if self.deadline is not None:
-                self.deadline.check("local threshold probing")
+            if self._checkpoint("local threshold probing"):
+                return out
             ranked = sorted(
                 self._all,
                 key=lambda v: (-self.gd.score_at(v, w), v),
@@ -408,9 +619,7 @@ class LocalSearch:
             seen_rankings.add(signature)
 
             def core_of(size: int):
-                return k_core_containing(
-                    self.htk.subgraph(ranked[:size]), self.query, self.k
-                )
+                return self._kcore_members(ranked[:size])
 
             # Existence of the prefix k-ĉore is monotone in the prefix
             # size: binary-search the smallest feasible prefix, then walk
@@ -427,12 +636,11 @@ class LocalSearch:
             found = 0
             previous: frozenset[int] | None = None
             for size in range(lo, len(ranked) + step, step):
-                if self.deadline is not None:
-                    self.deadline.check("local threshold probing")
-                core = core_of(min(size, len(ranked)))
-                if core is None:
+                if self._checkpoint("local threshold probing"):
+                    return out
+                fs = core_of(min(size, len(ranked)))
+                if fs is None:
                     continue
-                fs = frozenset(core.vertices())
                 if fs != previous:
                     previous = fs
                     if fs not in out:
@@ -452,6 +660,8 @@ class LocalSearch:
             strategy=self.strategy,
             max_candidates=self.max_candidates,
             deadline=self.deadline,
+            flat=self.flat,
+            anytime=self.anytime,
         )
         for extra in self._threshold_candidates():
             if extra not in candidates:
@@ -464,11 +674,21 @@ class LocalSearch:
         for members in candidates:
             if members in claimed:
                 continue
-            if self.deadline is not None:
-                self.deadline.check("local verify")
+            if self._checkpoint("local verify"):
+                break
             claimed.append(members)
             for cell, found in self._verify_candidate(members):
                 entries.append(PartitionEntry(cell, [Community(found)]))
+        if self.partial and not entries:
+            # Anytime fallback: H^t_k itself is a feasible community
+            # for all of R (a connected k-core containing Q), just not
+            # certified non-contained — return it as the best-so-far.
+            entries.append(
+                PartitionEntry(
+                    Cell.from_region(self.region),
+                    [Community(self._all, partial=True)],
+                )
+            )
         self.stats.partitions = len(entries)
         return entries
 
@@ -486,6 +706,12 @@ class LocalSearch:
         base = self.search_nc()
         entries: list[PartitionEntry] = []
         for entry in base:
+            if self.partial and entry.best.partial:
+                # Anytime fallback entry: its chain was never peeled;
+                # pass it through rather than paying for a full oracle
+                # run after the budget is already gone.
+                entries.append(entry)
+                continue
             members = entry.best.members
             outside = set(self._all - members)
             refine: list = []
@@ -506,12 +732,21 @@ class LocalSearch:
                 tree.insert(h)
                 self.stats.halfspaces_inserted += 1
             for cell in tree.leaves():
-                if self.deadline is not None:
-                    self.deadline.check("local top-j refinement")
+                if self._checkpoint("local top-j refinement"):
+                    # Anytime: the certified NC community still stands
+                    # for this cell; report it as the chain's (partial)
+                    # best instead of dropping the cell.
+                    entries.append(
+                        PartitionEntry(
+                            cell, [Community(members, partial=True)]
+                        )
+                    )
+                    continue
                 w = cell.interior_point()
                 scores = {v: self.gd.score_at(v, w) for v in self._all}
                 chain, _batches = deletion_chain(
-                    self.htk, self.query, self.k, scores, max_batches=j - 1
+                    self.htk, self.query, self.k, scores,
+                    max_batches=j - 1, flat=self.flat,
                 )
                 communities = [
                     Community(c) for c in reversed(chain[-j:])

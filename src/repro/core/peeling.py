@@ -95,6 +95,7 @@ def deletion_chain(
     k: int,
     scores: Mapping[int, float],
     max_batches: int | None = None,
+    flat=None,
 ) -> tuple[list[set[int]], list[frozenset[int]]]:
     """Peel ``graph`` at fixed scores; return (chain, batches).
 
@@ -107,7 +108,16 @@ def deletion_chain(
     the last ``max_batches + 1`` communities are needed for a top-j query
     with j = max_batches + 1; peeling still runs to the end, but recorded
     history is bounded.
+
+    ``flat`` optionally supplies a CSR view of ``graph`` (a
+    :class:`~repro.kernels.flatgraph.FlatGraph` over the same vertex
+    set); the chain is then peeled over int row arrays with batch
+    degree updates — same output, no dict copies.
     """
+    if flat is not None:
+        from repro.kernels.search import deletion_chain_rows
+
+        return deletion_chain_rows(flat, query, k, scores, max_batches)
     q = list(query)
     if not q:
         raise QueryError("query set must be non-empty")
@@ -148,9 +158,12 @@ def nc_mac_at(
     query: Iterable[int],
     k: int,
     scores: Mapping[int, float],
+    flat=None,
 ) -> frozenset[int]:
     """The non-contained MAC at a fixed weight (last element of the chain)."""
-    chain, _batches = deletion_chain(graph, query, k, scores, max_batches=0)
+    chain, _batches = deletion_chain(
+        graph, query, k, scores, max_batches=0, flat=flat
+    )
     return frozenset(chain[-1])
 
 
@@ -160,9 +173,10 @@ def top_j_at(
     k: int,
     scores: Mapping[int, float],
     j: int,
+    flat=None,
 ) -> list[frozenset[int]]:
     """Top-j MACs at a fixed weight, best (highest score) first."""
     chain, _batches = deletion_chain(
-        graph, query, k, scores, max_batches=max(j - 1, 0)
+        graph, query, k, scores, max_batches=max(j - 1, 0), flat=flat
     )
     return [frozenset(c) for c in reversed(chain[-j:])]

@@ -45,12 +45,22 @@ class MACQuery:
 
 
 class Community:
-    """An MAC: an immutable vertex set with score helpers."""
+    """An MAC: an immutable vertex set with score helpers.
 
-    __slots__ = ("members",)
+    ``partial`` marks an anytime best-so-far answer: a feasible
+    connected k-core containing Q that was not certified non-contained
+    before the deadline expired.  It is provenance, not identity —
+    equality and hashing compare members only, so a partial answer that
+    happens to equal the exact one compares equal to it.
+    """
 
-    def __init__(self, members: Iterable[int]) -> None:
+    __slots__ = ("members", "partial")
+
+    def __init__(
+        self, members: Iterable[int], partial: bool = False
+    ) -> None:
         self.members = frozenset(members)
+        self.partial = partial
 
     def __len__(self) -> int:
         return len(self.members)
@@ -86,10 +96,11 @@ class Community:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mark = ", partial" if self.partial else ""
         shown = sorted(self.members)
         if len(shown) > 8:
-            return f"Community({shown[:8]}... |{len(shown)}|)"
-        return f"Community({shown})"
+            return f"Community({shown[:8]}... |{len(shown)}|{mark})"
+        return f"Community({shown}{mark})"
 
 
 @dataclass

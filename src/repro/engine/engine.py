@@ -47,6 +47,7 @@ from repro.kernels import (
     core_numbers,
     k_core_component,
     resolve_backend,
+    search_flatgraph,
 )
 from repro.social.roadsocial import (
     KTCore,
@@ -85,10 +86,17 @@ class _PreparedFilter:
 
 @dataclass
 class _PreparedCore:
-    """Cached per-(Q, k, t) state: H^t_k and its attribute matrix."""
+    """Cached per-(Q, k, t) state: H^t_k and its attribute matrix.
+
+    ``search_flat`` is the row-sorted CSR view of H^t_k the flat search
+    backend peels over; it is built lazily on the first flat search of
+    this core and memoized here so repeat queries (and other (R, j,
+    problem) variations over the same core) reuse it.
+    """
 
     core: KTCore | None
     attributes: dict[int, np.ndarray] | None
+    search_flat: FlatGraph | None = None
 
 
 @dataclass(frozen=True)
@@ -100,7 +108,9 @@ class EngineTelemetry:
     spent in the search phase — the observability hook that makes
     per-stage backend wins measurable.  ``deadline_exceeded`` counts
     requests aborted by their :class:`~repro.errors.DeadlineExceeded`
-    budget (the serving metric that distinguishes "slow" from "hung").
+    budget (the serving metric that distinguishes "slow" from "hung");
+    ``partial_results`` counts anytime requests that degraded to a
+    best-so-far ``partial=True`` answer instead.
     """
 
     searches: int
@@ -111,6 +121,7 @@ class EngineTelemetry:
     result: CacheStats
     stage_seconds: dict = field(default_factory=dict)
     deadline_exceeded: int = 0
+    partial_results: int = 0
 
     @property
     def hits(self) -> int:
@@ -136,7 +147,7 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
     cache sizes add (each worker owns its LRU), and capacities add too
     (the fleet-wide number of cacheable entries).
     """
-    searches = batches = deadline_exceeded = 0
+    searches = batches = deadline_exceeded = partial_results = 0
     cache_sums = {
         name: [0, 0, 0, 0]
         for name in ("filter", "core", "dominance", "result")
@@ -146,6 +157,7 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
         searches += tel.searches
         batches += tel.batches
         deadline_exceeded += tel.deadline_exceeded
+        partial_results += tel.partial_results
         for name, sums in cache_sums.items():
             stats = getattr(tel, name)
             sums[0] += stats.hits
@@ -165,6 +177,7 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
         batches=batches,
         stage_seconds=stage_seconds,
         deadline_exceeded=deadline_exceeded,
+        partial_results=partial_results,
         **merged_caches,
     )
 
@@ -185,6 +198,8 @@ class QueryPlan:
     searcher: str
     filter_strategy: str
     backend: str
+    search_backend: str
+    frontier: str
     gtree_built: bool
     cached: dict[str, bool]
     feasible: bool | None
@@ -200,6 +215,8 @@ class QueryPlan:
             f"  range filter    {self.filter_strategy} "
             f"(G-tree built: {self.gtree_built})",
             f"  backend         {self.backend}",
+            f"  search          backend={self.search_backend}, "
+            f"frontier={self.frontier}",
             f"  cached stages   "
             + ", ".join(f"{k}={v}" for k, v in self.cached.items()),
             f"  |H^t_k|         "
@@ -295,6 +312,7 @@ class MACEngine:
         self._searches = 0
         self._batches = 0
         self._deadline_exceeded = 0
+        self._partial_results = 0
         self._stage_seconds = {stage: 0.0 for stage in STAGES}
         if eager:
             self.prepare()
@@ -364,6 +382,7 @@ class MACEngine:
         with self._counter_lock:
             searches, batches = self._searches, self._batches
             deadline_exceeded = self._deadline_exceeded
+            partial_results = self._partial_results
             stage_seconds = dict(self._stage_seconds)
         disabled = CacheStats(hits=0, misses=0, size=0, capacity=0)
         return EngineTelemetry(
@@ -379,6 +398,7 @@ class MACEngine:
             ),
             stage_seconds=stage_seconds,
             deadline_exceeded=deadline_exceeded,
+            partial_results=partial_results,
         )
 
     def reset_telemetry(self) -> None:
@@ -393,6 +413,7 @@ class MACEngine:
             self._searches = 0
             self._batches = 0
             self._deadline_exceeded = 0
+            self._partial_results = 0
             self._stage_seconds = {stage: 0.0 for stage in STAGES}
         for cache in (
             self._filter_cache,
@@ -611,14 +632,28 @@ class MACEngine:
             f"auto: |H^t_k|={htk_vertices} > {self.auto_local_threshold}",
         )
 
+    def _search_flat(self, core_state: _PreparedCore) -> FlatGraph:
+        """Row-sorted CSR view of H^t_k (built once per prepared core).
+
+        A benign race under concurrent first use: both builders produce
+        identical views and the last assignment wins.
+        """
+        if core_state.search_flat is None:
+            core_state.search_flat = search_flatgraph(core_state.core.graph)
+        return core_state.search_flat
+
     def _run_searcher(
         self,
         request: MACRequest,
         algorithm: str,
-        core: KTCore,
+        core_state: _PreparedCore,
         gd: DominanceGraph,
+        backend: str,
         deadline: Deadline | None = None,
-    ) -> tuple[list[PartitionEntry], SearchStats]:
+    ) -> tuple[list[PartitionEntry], SearchStats, bool]:
+        core = core_state.core
+        flat = self._search_flat(core_state) if backend == "flat" else None
+        anytime = request.anytime and deadline is not None
         if algorithm == "global":
             searcher = GlobalSearch(
                 core.graph,
@@ -630,6 +665,8 @@ class MACEngine:
                 refinement=request.refinement,
                 time_budget=request.time_budget,
                 deadline=deadline,
+                flat=flat,
+                anytime=anytime,
             )
         else:
             searcher = LocalSearch(
@@ -642,12 +679,14 @@ class MACEngine:
                 max_candidates=request.max_candidates,
                 certification=request.certification,
                 deadline=deadline,
+                flat=flat,
+                anytime=anytime,
             )
         if request.problem == "nc":
             partitions = searcher.search_nc()
         else:
             partitions = searcher.search_topj(request.j)
-        return partitions, searcher.stats
+        return partitions, searcher.stats, searcher.partial
 
     # ------------------------------------------------------------------
     # public API
@@ -685,15 +724,34 @@ class MACEngine:
         if self._result_cache is None:
             result = self._execute(request, deadline)
             result.extra["engine"]["cache"]["result"] = "off"
+            if result.partial:
+                with self._counter_lock:
+                    self._partial_results += 1
             return result
-        # A result-cache hit is served instantly, deadline or not; a
-        # miss runs the budgeted pipeline (the deadline also bounds any
-        # wait on another thread's in-flight build of the same key).
-        template, hit = self._result_cache.get_or_create(
-            request.result_key,
-            lambda: self._execute(request, deadline),
-            deadline,
-        )
+        if request.anytime and deadline is not None:
+            # An anytime answer may be partial, and partial results must
+            # never enter the result cache — they would be served as the
+            # truth to later exact requests for the same key.  Bypass the
+            # build-once path: peek, execute on miss, publish complete
+            # results only.
+            template, hit = self._result_cache.peek(request.result_key)
+            if not hit:
+                template = self._execute(request, deadline)
+                if template.partial:
+                    with self._counter_lock:
+                        self._partial_results += 1
+                else:
+                    self._result_cache.put(request.result_key, template)
+        else:
+            # A result-cache hit is served instantly, deadline or not; a
+            # miss runs the budgeted pipeline (the deadline also bounds
+            # any wait on another thread's in-flight build of the same
+            # key).
+            template, hit = self._result_cache.get_or_create(
+                request.result_key,
+                lambda: self._execute(request, deadline),
+                deadline,
+            )
         entry = dict(template.extra["engine"])
         entry["label"] = request.label
         if hit:
@@ -717,6 +775,8 @@ class MACEngine:
             htk_vertices=template.htk_vertices,
             htk_edges=template.htk_edges,
             extra={"engine": entry},
+            partial=template.partial,
+            progress=dict(template.progress),
         )
 
     def _execute(
@@ -725,42 +785,71 @@ class MACEngine:
         """The uncached pipeline: prepare (via stage caches) + search."""
         use_gtree = self._resolve_use_gtree(request)
         backend = self._resolve_backend(request)
+        anytime = request.anytime and deadline is not None
         q = MACQuery.make(
             request.query, request.k, request.t, request.region, request.j
         )
         start = time.perf_counter()
         tel_cache: dict[str, str] = {}
         times: dict[str, float] = {}
-        core_state = self._prepared_core(
-            request, use_gtree, backend, tel_cache, times, deadline
-        )
-        if core_state.core is None:
-            tel_cache["dominance"] = "skipped"
+        try:
+            core_state = self._prepared_core(
+                request, use_gtree, backend, tel_cache, times, deadline
+            )
+            if core_state.core is None:
+                tel_cache["dominance"] = "skipped"
+                self._account_stage_times(times)
+                result = MACSearchResult(
+                    q, [], SearchStats(), time.perf_counter() - start
+                )
+                result.extra["engine"] = self._telemetry_entry(
+                    request, "none", use_gtree, backend, tel_cache, times,
+                    prepare_s=time.perf_counter() - start, search_s=0.0,
+                )
+                return result
+            gd = self._dominance(
+                request, core_state, backend, tel_cache, times, deadline
+            )
+        except DeadlineExceeded:
+            if not anytime:
+                raise
+            # The budget died while preparing stages: there is no
+            # feasible community to fall back on yet, so the anytime
+            # answer is an empty partial result.
             self._account_stage_times(times)
             result = MACSearchResult(
-                q, [], SearchStats(), time.perf_counter() - start
+                q, [], SearchStats(), time.perf_counter() - start,
+                partial=True, progress={"stage": "prepare"},
             )
             result.extra["engine"] = self._telemetry_entry(
                 request, "none", use_gtree, backend, tel_cache, times,
                 prepare_s=time.perf_counter() - start, search_s=0.0,
             )
             return result
-        gd = self._dominance(
-            request, core_state, backend, tel_cache, times, deadline
-        )
         prepare_s = time.perf_counter() - start
         algorithm, _reason = self._resolve_algorithm(
             request, core_state.core.num_vertices
         )
-        if deadline is not None:
+        if deadline is not None and not anytime:
+            # Anytime requests always enter the searcher: even with an
+            # expired budget it drains immediately into a best-so-far
+            # (H^t_k fallback) answer instead of raising here.
             deadline.check("search")
         search_start = time.perf_counter()
-        partitions, stats = self._run_searcher(
-            request, algorithm, core_state.core, gd, deadline
+        partitions, stats, partial = self._run_searcher(
+            request, algorithm, core_state, gd, backend, deadline
         )
         search_s = time.perf_counter() - search_start
         times["search"] = search_s
         self._account_stage_times(times)
+        progress: dict = {}
+        if partial:
+            progress = {
+                "stage": "search",
+                "tasks": stats.tasks,
+                "peel_rounds": stats.peel_rounds,
+                "candidates": stats.candidates,
+            }
         result = MACSearchResult(
             q,
             partitions,
@@ -768,6 +857,8 @@ class MACEngine:
             time.perf_counter() - start,
             htk_vertices=core_state.core.num_vertices,
             htk_edges=core_state.core.num_edges,
+            partial=partial,
+            progress=progress,
         )
         result.extra["engine"] = self._telemetry_entry(
             request, algorithm, use_gtree, backend, tel_cache, times,
@@ -946,6 +1037,15 @@ class MACEngine:
             searcher = "none"
         else:
             searcher = SEARCHER_NAMES[(algorithm, request.problem)]
+        if algorithm == "local":
+            search_backend = backend
+            frontier = f"push-{request.strategy}"
+        elif algorithm == "global":
+            search_backend = backend
+            frontier = f"peel-{request.refinement}"
+        else:
+            search_backend = "none"
+            frontier = "none"
         with self._counter_lock:
             stage_seconds = dict(self._stage_seconds)
         return QueryPlan(
@@ -956,6 +1056,8 @@ class MACEngine:
             searcher=searcher,
             filter_strategy="gtree" if use_gtree else "dijkstra",
             backend=backend,
+            search_backend=search_backend,
+            frontier=frontier,
             gtree_built=self.network.has_gtree,
             cached={
                 "filter": prep_cached,

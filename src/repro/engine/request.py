@@ -61,6 +61,13 @@ class MACRequest:
     #: it cannot change the answer, so it is excluded from the request's
     #: semantic identity (``result_key``) and equality.
     deadline: float | None = field(default=None, compare=False)
+    #: Anytime mode: when the ``deadline`` expires, return the best
+    #: feasible community found so far (marked ``partial=True`` with
+    #: progress stats) instead of raising.  Like ``deadline`` it cannot
+    #: change a *completed* answer, so it is excluded from the semantic
+    #: identity — and partial results are never cached, so an anytime
+    #: request can never poison the result cache for an exact one.
+    anytime: bool = field(default=False, compare=False)
     label: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -159,6 +166,7 @@ class MACRequest:
                 raise QueryError(
                     f"deadline must be positive, got {self.deadline}"
                 )
+        object.__setattr__(self, "anytime", bool(self.anytime))
 
     # ------------------------------------------------------------------
     @classmethod

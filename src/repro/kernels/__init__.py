@@ -26,18 +26,34 @@ from repro.kernels.paths import (
     dense_weight_matrix,
     masked_dijkstra_rows,
 )
+from repro.kernels.search import (
+    alive_degrees,
+    cascade_rows,
+    deletion_chain_rows,
+    k_core_containing_rows,
+    restrict_rows,
+    restrict_rows_incremental,
+    search_flatgraph,
+)
 
 __all__ = [
     "BACKENDS",
     "FlatGraph",
+    "alive_degrees",
     "all_pairs_minplus",
     "bounded_dijkstra_rows",
+    "cascade_rows",
     "component_labels",
     "component_mask",
     "core_numbers",
+    "deletion_chain_rows",
     "dense_weight_matrix",
     "k_core_component",
+    "k_core_containing_rows",
     "k_core_mask",
     "masked_dijkstra_rows",
+    "restrict_rows",
+    "restrict_rows_incremental",
     "resolve_backend",
+    "search_flatgraph",
 ]

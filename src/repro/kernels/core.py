@@ -85,6 +85,11 @@ def component_mask(
     seen[source_row] = True
     frontier = np.asarray([source_row], dtype=np.int64)
     indptr, indices = fg.indptr, fg.indices
+    # Scratch mask for per-level frontier dedup: marking + flatnonzero
+    # is a linear scan, far cheaper than hashing every gathered edge
+    # with np.unique (this BFS runs once per peel round in the search
+    # loops, so its constant factor is the restrict stage's cost).
+    scratch = np.zeros(n, bool)
     while frontier.size:
         nb = _gather_neighbors(indptr, indices, frontier)
         if mask is not None:
@@ -92,7 +97,9 @@ def component_mask(
         nb = nb[~seen[nb]]
         if nb.size == 0:
             break
-        frontier = np.unique(nb)
+        scratch[nb] = True
+        frontier = np.flatnonzero(scratch)
+        scratch[frontier] = False
         seen[frontier] = True
     return seen
 

@@ -1,0 +1,289 @@
+"""Flat-array primitives for the GS/LS search hot loops.
+
+PR 2 flattened the *index* stages (core decomposition, components,
+dominance); this module flattens the *search* loops — the cascade
+deletes, per-task peeling, k-ĉore probes and fixed-weight deletion
+chains that GS and LS run thousands of times per query.  Everything
+operates on int row arrays of a :class:`FlatGraph` with batch degree
+updates (one ragged gather + ``bincount`` per cascade round), mirroring
+the level-synchronous pattern of :func:`repro.kernels.core.core_numbers`.
+
+Equivalence with the dict-based reference paths rests on two facts:
+
+* a cascade delete (and any ``deg < k`` peel) is an order-independent
+  fixpoint, so batch rounds remove exactly the set the per-vertex DFS
+  removes;
+* rows are assigned in ascending vertex-id order, so every ``(score,
+  row)`` tie-break matches the reference ``(score, id)`` tie-break.
+
+:func:`search_flatgraph` additionally sorts each CSR row's neighbor
+list, which pins the frontier push order of the LS expand loop to the
+sorted-neighbor order the python path uses — heap contents stay
+bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import heapq
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.kernels.core import component_mask
+from repro.kernels.flatgraph import FlatGraph, ragged_offsets
+
+_EMPTY = np.empty(0, np.int64)
+
+
+def search_flatgraph(graph) -> FlatGraph:
+    """CSR view of ``graph`` with each row's neighbors sorted by row.
+
+    The searchers' substrate: sorted rows make neighbor iteration order
+    deterministic (and identical to iterating ``sorted(neighbors(v))``
+    on the dict graph), which the expand frontier's heap tie-breaking
+    depends on.
+    """
+    fg = FlatGraph.from_adjacency(graph)
+    if fg.n and fg.indices.size:
+        src = np.repeat(np.arange(fg.n), np.diff(fg.indptr))
+        order = np.lexsort((fg.indices, src))
+        fg.indices = fg.indices[order]
+    return fg
+
+
+def _gather(fg: FlatGraph, rows: np.ndarray) -> np.ndarray:
+    offsets, _counts = ragged_offsets(fg.indptr, rows)
+    return fg.indices[offsets]
+
+
+def alive_degrees(fg: FlatGraph, alive: np.ndarray) -> np.ndarray:
+    """Per-row degree within the subgraph induced by the ``alive`` mask.
+
+    Entries of dead rows are zero (and meaningless — the searchers only
+    read degrees of alive rows).
+    """
+    if fg.indices.size == 0:
+        return np.zeros(fg.n, np.int64)
+    src = np.repeat(np.arange(fg.n), np.diff(fg.indptr))
+    live = alive[src] & alive[fg.indices]
+    return np.bincount(src[live], minlength=fg.n)
+
+
+def cascade_rows(
+    fg: FlatGraph,
+    deg: np.ndarray,
+    alive: np.ndarray,
+    trigger: int,
+    k: int,
+) -> np.ndarray:
+    """Flat cascade delete: remove ``trigger``, then peel ``deg < k``.
+
+    Mutates ``alive`` and ``deg`` in place (degrees of removed rows are
+    left stale — only alive rows carry meaningful degrees) and returns
+    the removed rows.  The removed set is the unique fixpoint of the
+    DFS procedure of Algorithm 1 (lines 15-20), computed one cascade
+    level per python iteration.
+    """
+    if not alive[trigger]:
+        return _EMPTY
+    n = fg.n
+    removed: list[np.ndarray] = []
+    cand = np.asarray([trigger], np.int64)
+    while cand.size:
+        alive[cand] = False
+        removed.append(cand)
+        nb = _gather(fg, cand)
+        nb = nb[alive[nb]]
+        if nb.size == 0:
+            break
+        deg -= np.bincount(nb, minlength=n)
+        touched = np.unique(nb)
+        cand = touched[deg[touched] < k]
+    return np.concatenate(removed)
+
+
+def restrict_rows(
+    fg: FlatGraph, alive: np.ndarray, query_rows: list[int]
+) -> np.ndarray | None:
+    """Keep only the component of Q; ``None`` when Q breaks apart.
+
+    Mutates ``alive`` down to the query component and returns the
+    dropped rows.  Degrees of surviving rows need no update: a dropped
+    component has no alive neighbor in the kept one.
+    """
+    if not all(alive[r] for r in query_rows):
+        return None
+    comp = component_mask(fg, query_rows[0], alive)
+    if not all(comp[r] for r in query_rows):
+        return None
+    dropped = np.nonzero(alive & ~comp)[0]
+    if dropped.size:
+        alive[dropped] = False
+    return dropped
+
+
+def restrict_rows_incremental(
+    fg: FlatGraph,
+    alive: np.ndarray,
+    query_rows: list[int],
+    removed_rows: np.ndarray,
+) -> np.ndarray | None:
+    """Keep only the component of Q after ``removed_rows`` just died.
+
+    Incremental form of :func:`restrict_rows` for the search loops'
+    invariant: *before* the removal, the alive rows (plus the removed
+    ones) formed a single connected component containing Q.  Any
+    component split off by the removal must then contain an alive
+    ex-neighbor of the removed set, so only those neighbors need
+    classifying.  An early-exit BFS first re-verifies Q-side
+    connectivity (stopping as soon as every query row is reached);
+    each ex-neighbor's BFS then either touches the known query side
+    (same component — its explored prefix joins the known side) or
+    exhausts, which is exactly a dropped component.  Per peel round
+    this replaces a full-component sweep with work proportional to
+    the dropped components plus short early-exit prefixes.
+
+    Mutates ``alive`` like :func:`restrict_rows` and returns the
+    dropped rows, or ``None`` when Q itself breaks apart.
+    """
+    if not all(alive[r] for r in query_rows):
+        return None
+    nb = _gather(fg, removed_rows)
+    touched = np.unique(nb[alive[nb]])
+    if touched.size == 0:
+        return _EMPTY
+    n = fg.n
+    qside = np.zeros(n, bool)
+    q0 = query_rows[0]
+    qside[q0] = True
+    frontier = np.asarray([q0], np.int64)
+    while frontier.size and not all(qside[r] for r in query_rows):
+        step = _gather(fg, frontier)
+        step = step[alive[step] & ~qside[step]]
+        frontier = np.unique(step)
+        qside[frontier] = True
+    if not all(qside[r] for r in query_rows):
+        return None
+    seen = np.zeros(n, bool)
+    dropped: list[np.ndarray] = []
+    for a in touched.tolist():
+        if qside[a] or not alive[a]:
+            continue
+        start = np.asarray([a], np.int64)
+        seen[a] = True
+        comp = [start]
+        frontier = start
+        hit = False
+        while frontier.size:
+            step = _gather(fg, frontier)
+            step = step[alive[step]]
+            if qside[step].any():
+                hit = True
+                break
+            step = step[~seen[step]]
+            frontier = np.unique(step)
+            seen[frontier] = True
+            comp.append(frontier)
+        rows = np.concatenate(comp)
+        seen[rows] = False
+        if hit:
+            qside[rows] = True
+        else:
+            alive[rows] = False
+            dropped.append(rows)
+    if not dropped:
+        return _EMPTY
+    return np.concatenate(dropped)
+
+
+def k_core_containing_rows(
+    fg: FlatGraph,
+    mask: np.ndarray,
+    query_rows: list[int],
+    k: int,
+) -> np.ndarray | None:
+    """Row mask of the connected k-core of ``fg[mask]`` containing Q.
+
+    The flat analogue of :func:`repro.graph.core.k_core_containing`
+    restricted to an induced subgraph, without materializing it: peel
+    ``deg < k`` within the mask, then keep Q's component.  ``None``
+    when a query row is peeled away or the rows straddle components.
+    """
+    n = fg.n
+    alive = mask.copy()
+    deg = alive_degrees(fg, alive)
+    cand = np.nonzero(alive & (deg < k))[0]
+    while cand.size:
+        alive[cand] = False
+        nb = _gather(fg, cand)
+        nb = nb[alive[nb]]
+        if nb.size == 0:
+            cand = _EMPTY
+            continue
+        deg -= np.bincount(nb, minlength=n)
+        touched = np.unique(nb)
+        cand = touched[deg[touched] < k]
+    if not all(alive[r] for r in query_rows):
+        return None
+    comp = component_mask(fg, query_rows[0], alive)
+    if not all(comp[r] for r in query_rows):
+        return None
+    return comp
+
+
+def deletion_chain_rows(
+    fg: FlatGraph,
+    query: Iterable[int],
+    k: int,
+    scores: Mapping[int, float],
+    max_batches: int | None = None,
+) -> tuple[list[set[int]], list[frozenset[int]]]:
+    """Flat :func:`repro.core.peeling.deletion_chain` (id-space output).
+
+    Same contract: ``chain[i]`` is the vertex-id set of the i-th MAC,
+    ``batches[i]`` the set removed between chain[i] and chain[i+1].
+    The heap orders by ``(score, row)``, which equals the reference
+    ``(score, id)`` order because rows ascend with ids; the early
+    Corollary-1 breaks discard the mutated state instead of restoring
+    it (the reference restores only to immediately break too).
+    """
+    q = list(query)
+    if not q:
+        raise QueryError("query set must be non-empty")
+    n = fg.n
+    qrows = fg.rows_of(q)
+    qrow_set = set(qrows)
+    query_set = set(q)
+    alive = np.ones(n, bool)
+    deg = np.diff(fg.indptr).astype(np.int64)
+    ids = fg.ids
+    heap = [(scores[ids[r]], r) for r in range(n)]
+    heapq.heapify(heap)
+    current = set(ids)
+    chain: list[set[int]] = [set(current)]
+    batches: list[frozenset[int]] = []
+    while heap:
+        _s, r = heapq.heappop(heap)
+        if not alive[r]:
+            continue
+        if r in qrow_set:
+            break  # Corollary 1, condition (1): Q member is the minimum.
+        removed = cascade_rows(fg, deg, alive, r, k)
+        removed_ids = {ids[i] for i in removed.tolist()}
+        if removed_ids & query_set:
+            break  # Corollary 1, condition (2): cascade destroys Q.
+        dropped = restrict_rows_incremental(fg, alive, qrows, removed)
+        if dropped is None:
+            break
+        batch = frozenset(
+            removed_ids | {ids[i] for i in dropped.tolist()}
+        )
+        current -= batch
+        batches.append(batch)
+        chain.append(set(current))
+        if max_batches is not None and len(chain) > max_batches + 1:
+            chain.pop(0)
+            batches.pop(0)
+    return chain, batches

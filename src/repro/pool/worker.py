@@ -52,10 +52,15 @@ def _charged_search(engine, request, submitted_at: float):
         waited = time.monotonic() - submitted_at
         remaining = request.deadline - waited
         if remaining <= 0:
-            raise DeadlineExceeded(
-                f"request spent its {request.deadline:g}s deadline queued "
-                f"for a worker process ({waited:.3f}s queued)"
-            )
+            if request.anytime:
+                # Anytime requests still run: the engine turns the dead
+                # budget into a best-so-far partial answer.
+                remaining = 1e-3
+            else:
+                raise DeadlineExceeded(
+                    f"request spent its {request.deadline:g}s deadline "
+                    f"queued for a worker process ({waited:.3f}s queued)"
+                )
         request = replace(request, deadline=remaining)
     return engine.search(request)
 

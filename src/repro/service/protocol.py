@@ -31,7 +31,10 @@ from repro.geometry.region import PreferenceRegion
 
 #: Bump on any incompatible change to the wire format.  Sent by
 #: ``/v1/healthz`` so clients can detect skew before querying.
-PROTOCOL_VERSION = 1
+#: v2: anytime/partial results (result ``partial`` + ``progress``,
+#: per-community partial flags, plan ``search_backend``/``frontier``,
+#: telemetry ``partial_results``).
+PROTOCOL_VERSION = 2
 
 #: Default TCP port of ``repro serve``.
 DEFAULT_PORT = 8321
@@ -138,12 +141,18 @@ def result_to_wire(result) -> dict:
     """
     partitions = []
     for entry in result.partitions:
-        partitions.append({
+        wire_entry = {
             "weight": [float(x) for x in entry.sample_weight()],
             "communities": [sorted(c.members) for c in entry.communities],
-        })
+        }
+        flags = [bool(getattr(c, "partial", False)) for c in entry.communities]
+        if any(flags):
+            # Per-community anytime provenance; omitted when exact so the
+            # common-case payload is unchanged.
+            wire_entry["partial"] = flags
+        partitions.append(wire_entry)
     stats = result.stats
-    return {
+    wire = {
         "query": {
             "query": list(result.query.query),
             "k": result.query.k,
@@ -163,18 +172,32 @@ def result_to_wire(result) -> dict:
         },
         "engine": result.extra.get("engine", {}),
     }
+    if getattr(result, "partial", False):
+        wire["partial"] = True
+        wire["progress"] = dict(getattr(result, "progress", {}))
+    return wire
 
 
 @dataclass
 class ServicePartition:
-    """Client-side view of one partition of R."""
+    """Client-side view of one partition of R.
+
+    ``partial`` holds one flag per community (aligned with
+    ``communities``): True marks a best-so-far anytime answer rather
+    than a certified MAC.  Empty means every community is exact.
+    """
 
     weight: tuple[float, ...]
     communities: list[frozenset[int]]
+    partial: tuple[bool, ...] = ()
 
     @property
     def best(self) -> frozenset[int]:
         return self.communities[0]
+
+    @property
+    def any_partial(self) -> bool:
+        return any(self.partial)
 
     def sample_weight(self) -> np.ndarray:
         """Parity helper with :class:`PartitionEntry.sample_weight`."""
@@ -198,6 +221,11 @@ class ServiceResult:
     elapsed: float
     stats: dict
     extra: dict = field(default_factory=dict)
+    #: Anytime provenance: True when the deadline expired and the result
+    #: is the best feasible answer found so far (see MACRequest.anytime);
+    #: ``progress`` then carries how far the search got.
+    partial: bool = False
+    progress: dict = field(default_factory=dict)
 
     @property
     def is_empty(self) -> bool:
@@ -224,6 +252,7 @@ def result_from_wire(obj) -> ServiceResult:
                     frozenset(int(v) for v in members)
                     for members in entry["communities"]
                 ],
+                partial=tuple(bool(x) for x in entry.get("partial", ())),
             )
             for entry in obj.get("partitions", [])
         ]
@@ -235,6 +264,8 @@ def result_from_wire(obj) -> ServiceResult:
             elapsed=float(obj.get("elapsed", 0.0)),
             stats=dict(obj.get("stats", {})),
             extra={"engine": dict(obj.get("engine", {}))},
+            partial=bool(obj.get("partial", False)),
+            progress=dict(obj.get("progress", {})),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed result payload: {exc}") from exc
@@ -250,6 +281,8 @@ _PLAN_FIELDS = (
     "searcher",
     "filter_strategy",
     "backend",
+    "search_backend",
+    "frontier",
     "gtree_built",
     "cached",
     "feasible",
@@ -279,6 +312,8 @@ class ServicePlan:
     searcher: str
     filter_strategy: str
     backend: str
+    search_backend: str
+    frontier: str
     gtree_built: bool
     cached: dict
     feasible: bool | None
@@ -326,6 +361,7 @@ def telemetry_to_wire(tel) -> dict:
         "deadline_exceeded": tel.deadline_exceeded,
         "cache_hits": tel.hits,
         "cache_misses": tel.misses,
+        "partial_results": tel.partial_results,
         "caches": caches,
         "stage_seconds": dict(tel.stage_seconds),
     }
@@ -366,6 +402,7 @@ def telemetry_from_wire(obj) -> EngineTelemetry:
                 str(k): float(v) for k, v in dict(stage_seconds).items()
             },
             deadline_exceeded=int(obj.get("deadline_exceeded", 0)),
+            partial_results=int(obj.get("partial_results", 0)),
         )
     except (TypeError, ValueError) as exc:
         raise ServiceError(f"malformed telemetry payload: {exc}") from exc

@@ -627,6 +627,11 @@ class MACService:
             return request
         remaining = request.deadline - waited
         if remaining <= 0:
+            if request.anytime:
+                # An anytime request must still reach the engine so it
+                # can return its best-so-far partial answer; hand it the
+                # smallest legal budget instead of failing typed here.
+                return replace(request, deadline=1e-3)
             raise DeadlineExceeded(
                 f"request spent its {request.deadline:g}s deadline in the "
                 f"admission queue ({waited:.3f}s queued)"

@@ -1,0 +1,140 @@
+"""Anytime results across the wire: codec round-trip of partial flags
+and progress, and a GS-T query that formerly died with
+``DeadlineExceeded`` coming back partial from the pool tier."""
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import DeadlineExceeded
+from repro.pool import PoolExecutor, WorkerPool
+from repro.road.network import SpatialPoint
+from repro.service import MACService, ServiceClient
+from repro.service.protocol import (
+    request_from_wire,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(**knobs) -> MACRequest:
+    knobs.setdefault("algorithm", "global")
+    return MACRequest.make((2, 3, 6), 3, 9.0, REGION, **knobs)
+
+
+class TestCodecRoundTrip:
+    def test_request_carries_anytime(self):
+        req = make_request(deadline=0.5, anytime=True)
+        wire = request_to_wire(req)
+        assert wire["anytime"] is True
+        back = request_from_wire(wire)
+        assert back.anytime is True
+        assert back.deadline == 0.5
+
+    def test_exact_request_omits_anytime(self):
+        assert "anytime" not in request_to_wire(make_request())
+
+    def test_partial_result_round_trips(self):
+        engine = MACEngine(make_network(), result_cache_size=0)
+        engine.warm(make_request(problem="topj", j=3))
+        result = engine.search(make_request(
+            problem="topj", j=3, deadline=1e-9, anytime=True,
+        ))
+        assert result.partial is True
+        back = result_from_wire(result_to_wire(result))
+        assert back.partial is True
+        assert back.progress == result.progress
+        assert back.partitions
+        for ours, theirs in zip(result.partitions, back.partitions):
+            assert theirs.partial == tuple(
+                c.partial for c in ours.communities
+            )
+            assert theirs.any_partial
+        assert back.communities() == {
+            frozenset(c.members)
+            for e in result.partitions for c in e.communities
+        }
+
+    def test_exact_result_wire_form_is_unchanged(self):
+        engine = MACEngine(make_network())
+        wire = result_to_wire(engine.search(make_request()))
+        assert "partial" not in wire
+        assert "progress" not in wire
+        assert all("partial" not in p for p in wire["partitions"])
+        back = result_from_wire(wire)
+        assert back.partial is False
+        assert back.progress == {}
+        assert not any(p.any_partial for p in back.partitions)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(MACEngine(make_network()), 2) as p:
+        yield p
+
+
+@pytest.fixture(scope="module")
+def service(pool):
+    svc = MACService(
+        executor=PoolExecutor(pool),
+        port=0, max_concurrency=4, queue_depth=8,
+    )
+    with svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(port=service.port) as c:
+        yield c
+
+
+class TestPoolTier:
+    def test_gst_deadline_raises_typed_without_anytime(self, client):
+        with pytest.raises(DeadlineExceeded):
+            client.search(make_request(
+                problem="topj", j=3, deadline=1e-9,
+            ))
+
+    def test_gst_comes_back_partial_with_anytime(self, client):
+        result = client.search(make_request(
+            problem="topj", j=3, deadline=1e-9, anytime=True,
+        ))
+        assert result.partial is True
+        assert result.progress
+        # Whatever came back is feasible: every community contains Q.
+        for entry in result.partitions:
+            for members in entry.communities:
+                assert {2, 3, 6} <= set(members)
+
+    def test_generous_anytime_budget_is_exact(self, client):
+        soft = client.search(make_request(deadline=60.0, anytime=True))
+        exact = client.search(make_request())
+        assert soft.partial is False
+        assert soft.communities() == exact.communities()
+
+    def test_plan_crosses_with_search_fields(self, client):
+        plan = client.explain(make_request(algorithm="local"))
+        assert plan.search_backend in ("flat", "python")
+        assert plan.frontier == "push-eq3"
+
+    def test_metrics_count_partials(self, client):
+        client.search(make_request(
+            problem="topj", j=2, deadline=1e-9, anytime=True,
+        ))
+        tel = client.metrics()["engine"]
+        assert tel["partial_results"] >= 1
