@@ -23,6 +23,13 @@ The end-to-end deployment path, exactly as an operator would run it:
    request failures, a ``/v1/healthz`` snapshot identity that is never
    half-flipped (generation monotone, worker generations uniform),
    and merged telemetry that never decreases across generations.
+8. stall-proofing: boot the worker tier with a ``hang`` fault (each
+   worker wedges on its 3rd search), a stall watchdog, hedged
+   dispatch, and tight brownout thresholds — under concurrent
+   deadline-bearing load plus one live reload the watchdog must
+   detect and replace the wedged worker within its budget, every
+   failure must stay typed, and the brownout must enter under
+   pressure and exit once the load stops.
 
 Run from the repo root with ``PYTHONPATH=src``.
 """
@@ -408,6 +415,143 @@ def main() -> int:
         finally:
             out = stop_cleanly(server)
         print("chaos-phase clean shutdown confirmed:")
+        print(out)
+
+        # Phase 4: stall-proofing.  A worker tier booted with a `hang`
+        # fault (each worker wedges on its 3rd search, first incarnation
+        # only), a 2s stall watchdog, hedged dispatch, and tight
+        # brownout thresholds — under concurrent deadline-bearing load
+        # plus one live reload.  The watchdog must detect and replace
+        # the wedged worker within its budget, every failure must stay
+        # typed, and the brownout must enter and exit cleanly.
+        stall_timeout = 2.0
+        stall_port = PORT + 3
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(pool_snapshot),
+            "--port", str(stall_port), "--worker-processes", "2",
+            "--workers", "1", "--queue-depth", "16",
+            "--stall-timeout", str(stall_timeout), "--hedge-after", "0.1",
+            "--brownout-enter", "2", "--brownout-exit", "0",
+            "--brownout-hold", "0.3", "--drain-timeout", "3",
+            "--fault-plan",
+            '[{"kind": "hang", "op": "search", "after": 3}]',
+        )
+        try:
+            admin = ServiceClient(port=stall_port, timeout=120.0)
+            health = wait_healthy(admin, server)
+            assert health["mode"] == "normal", health
+
+            stop_load = threading.Event()
+            typed: list[str] = []
+            untyped: list[str] = []
+            served = [0]
+
+            def stall_load(k: int, label: str) -> None:
+                client = ServiceClient(
+                    port=stall_port, timeout=120.0,
+                    retry_overloaded=4, retry_backoff=0.05,
+                )
+                probe = MACRequest.make(
+                    query, k, t, region, algorithm="local", label=label,
+                    deadline=2.0,
+                )
+                while not stop_load.is_set():
+                    try:
+                        client.search(probe)
+                        served[0] += 1
+                    except ReproError as exc:
+                        typed.append(f"{type(exc).__name__}: {exc}")
+                    except Exception as exc:  # noqa: BLE001
+                        untyped.append(f"{type(exc).__name__}: {exc}")
+                client.close()
+
+            # Two distinct core keys so both affinity slots see traffic
+            # (and therefore both reach their 3rd search and wedge).
+            threads = [
+                threading.Thread(
+                    target=stall_load, args=(K - (i % 2), f"stall-{i}")
+                )
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                # The wedge: the watchdog must mark the worker stalled
+                # (SIGKILL) and the supervisor must refill the slot.
+                detect_deadline = time.time() + 30
+                detected_at = None
+                while time.time() < detect_deadline:
+                    h = admin.healthz()
+                    if h["workers"]["stalled_workers"] >= 1:
+                        detected_at = time.time()
+                        break
+                    time.sleep(0.1)
+                assert detected_at is not None, "wedge never detected"
+                refill_deadline = detected_at + 2 * stall_timeout + 5
+                while time.time() < refill_deadline:
+                    h = admin.healthz()
+                    if (h["workers"]["alive"] == 2
+                            and h["workers"]["restarts"] >= 1):
+                        break
+                    time.sleep(0.1)
+                else:
+                    raise AssertionError(
+                        "stalled worker not replaced within the "
+                        "watchdog budget"
+                    )
+                print("stall watchdog: wedged worker killed and "
+                      f"refilled (stalled_workers="
+                      f"{h['workers']['stalled_workers']})")
+
+                # Sustained pressure on a 1-slot server: brownout.
+                brownout_deadline = time.time() + 30
+                while time.time() < brownout_deadline:
+                    if admin.healthz()["mode"] == "brownout":
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError("brownout never entered")
+                print("brownout entered under sustained load")
+
+                summary = admin.reload(str(chaos_snapshot))
+                assert summary["generation"] == 1, summary
+                print(f"live reload with watchdog active: {summary}")
+
+                time.sleep(0.5)  # load against the reloaded fleet
+            finally:
+                stop_load.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+
+            # Calm: with the load gone the brownout must exit.
+            exit_deadline = time.time() + 15
+            while time.time() < exit_deadline:
+                if admin.healthz()["mode"] == "normal":
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("brownout never exited after calm")
+            print("brownout exited after load stopped")
+
+            assert not untyped, f"non-typed request failures: {untyped[:5]}"
+            assert served[0] > 0, "stall-phase load served nothing"
+            final = admin.metrics()
+            degradation = final["degradation"]
+            assert degradation["brownouts"] >= 1, degradation
+            assert degradation["brownout_degraded"] >= 1, degradation
+            assert final["pool"]["stalled_workers"] >= 1, final["pool"]
+            assert final["pool"]["stall_timeout"] == stall_timeout
+            assert final["service"]["reloads"] == 1, final["service"]
+            print(f"stall phase: {served[0]} request(s) served, "
+                  f"{len(typed)} typed rejection(s), 0 non-typed "
+                  f"failures, {final['pool']['stalled_workers']} "
+                  f"stall(s), {final['pool']['hedges']} hedge(s), "
+                  f"{degradation['brownout_degraded']} degraded")
+            admin.close()
+        finally:
+            out = stop_cleanly(server)
+        print("stall-phase clean shutdown confirmed:")
         print(out)
     return 0
 

@@ -39,7 +39,7 @@ from bench_service import DATASET, build_requests, distinct_variant
 
 from repro import MACEngine, datasets
 from repro.errors import WorkerCrashed
-from repro.pool import WorkerPool
+from repro.pool import FaultPlan, WorkerPool
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
 
@@ -101,6 +101,51 @@ def probe_restart(engine, requests) -> dict:
         "recovered_s": recovered_s,
         "typed_error": True,
     }
+
+
+def probe_hedge_tail(engine, requests, count: int) -> dict:
+    """Tail-latency probe: one persistent straggler worker out of two.
+
+    Every search that lands on slot 0 gets its reply delayed by 0.5s —
+    the shape of a worker degraded by paging, a noisy neighbour, or a
+    failing disk.  The same serial request stream is driven through an
+    unhedged pool and through one with ``hedge_after=0.05``; hedging
+    must collapse the p99 (the hedge lands on the healthy worker and
+    wins) without inflating the p50.
+    """
+    variants = [
+        distinct_variant(requests[i % len(requests)], 20_000_000 + i)
+        for i in range(count)
+    ]
+    plan = FaultPlan.parse([
+        {"kind": "delay_reply", "slot": 0, "op": "search",
+         "after": n, "seconds": 0.5, "incarnation": None}
+        for n in range(1, count + 1)
+    ])
+    out: dict = {}
+    for mode, hedge_after in (("unhedged", None), ("hedged", 0.05)):
+        with WorkerPool(
+            engine, 2, hedge_after=hedge_after, fault_plan=plan
+        ) as pool:
+            samples = []
+            for request in variants:
+                started = time.perf_counter()
+                pool.search_wire(request)
+                samples.append(time.perf_counter() - started)
+            stats = pool.pool_wire()
+        samples.sort()
+        out[mode] = {
+            "requests": len(samples),
+            "p50_s": samples[len(samples) // 2],
+            "p99_s": samples[min(len(samples) - 1,
+                                 int(len(samples) * 0.99))],
+            "hedges": stats["hedges"],
+            "hedge_wins": stats["hedge_wins"],
+        }
+    out["tail_ratio"] = (
+        out["unhedged"]["p99_s"] / max(out["hedged"]["p99_s"], 1e-9)
+    )
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,10 +216,16 @@ def main(argv: list[str] | None = None) -> int:
     efficiency = scaling_max / usable
 
     restart = probe_restart(engine, requests)
+    hedge = probe_hedge_tail(engine, requests, 16 if args.quick else 30)
     print(f"scaling        {scaling_max:.2f}x at {max_width} workers "
           f"({cpus} cpu(s) -> efficiency {efficiency:.2f})")
     print(f"restart probe  typed fail {restart['failed_typed_s'] * 1e3:.0f}ms, "
           f"slot refilled {restart['recovered_s'] * 1e3:.0f}ms")
+    print(f"hedge probe    p99 {hedge['unhedged']['p99_s'] * 1e3:.0f}ms "
+          f"unhedged -> {hedge['hedged']['p99_s'] * 1e3:.0f}ms hedged "
+          f"({hedge['tail_ratio']:.1f}x, "
+          f"{hedge['hedged']['hedge_wins']}/{hedge['hedged']['hedges']} "
+          f"hedges won)")
 
     results = {
         "dataset": DATASET,
@@ -189,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         "scaling_max": scaling_max,
         "efficiency": efficiency,
         "supervised_restart": restart,
+        "hedge_tail": hedge,
+        "hedge_tail_ratio": hedge["tail_ratio"],
     }
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -203,6 +256,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         print("asserted: parallel efficiency >= 0.625 "
               "(>= 2.5x at 4 workers on >= 4 cores)")
+        # The straggler injects a 0.5s tail; the hedge must cut the p99
+        # by at least 2x (it lands on the healthy worker in ~0.05s).
+        assert hedge["tail_ratio"] >= 2.0, (
+            f"hedged p99 only {hedge['tail_ratio']:.2f}x better than "
+            f"unhedged (expected >= 2.0x)"
+        )
+        print("asserted: hedged p99 >= 2.0x better under one straggler")
     return 0
 
 

@@ -36,6 +36,10 @@ SNAPSHOT_KEY = "snapshot_warm_start"
 #: cores); this floors-table key names it.
 POOL_KEY = "pool_efficiency"
 
+#: The pool bench's hedged-dispatch probe reports the unhedged/hedged
+#: p99 ratio under one straggler worker; this key names that floor.
+POOL_HEDGE_KEY = "pool_hedge_tail"
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -84,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.pool is not None:
         pool = json.loads(args.pool.read_text())
         measured[POOL_KEY] = pool["efficiency"]
+        if "hedge_tail_ratio" in pool:
+            measured[POOL_HEDGE_KEY] = pool["hedge_tail_ratio"]
     if args.search is not None:
         search = json.loads(args.search.read_text())
         for name, entry in search.get("search", {}).items():
@@ -98,7 +104,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{name:24s} floor {floor:6.2f}x   skipped "
                       f"(no --snapshot)")
                 continue
-            if name == POOL_KEY and args.pool is None:
+            if name in (POOL_KEY, POOL_HEDGE_KEY) and args.pool is None:
                 print(f"{name:24s} floor {floor:6.2f}x   skipped "
                       f"(no --pool)")
                 continue

@@ -430,9 +430,13 @@ def cmd_index_verify(args: argparse.Namespace) -> int:
             args.dataset, scale=args.scale, seed=args.seed,
             dimensions=args.dimensions,
         ).network
-    info = verify_snapshot(args.path, network=network)
-    print(f"snapshot ok: {info['arrays_checked']} array(s) verified, "
-          f"fingerprint "
+    info = verify_snapshot(args.path, network=network, deep=args.deep)
+    detail = (
+        f", {info['checksums_checked']} content checksum(s) verified"
+        if args.deep else ""
+    )
+    print(f"snapshot ok: {info['arrays_checked']} array(s) verified"
+          f"{detail}, fingerprint "
           + ("verified against --dataset" if info["fingerprint_checked"]
              else "not checked (pass --dataset to check)"))
     return 0
@@ -450,6 +454,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"--drain-timeout must be > 0, got {args.drain_timeout}"
         )
     pool_mode = args.worker_processes > 0
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        raise QueryError(
+            f"--stall-timeout must be > 0, got {args.stall_timeout}"
+        )
+    if args.stall_timeout is not None and not pool_mode:
+        raise QueryError(
+            "--stall-timeout requires --worker-processes N: the watchdog "
+            "supervises worker processes, not in-process threads"
+        )
+    hedge_after: float | str | None = None
+    if args.hedge_after is not None:
+        if not pool_mode:
+            raise QueryError(
+                "--hedge-after requires --worker-processes N: hedging "
+                "re-dispatches to a second worker process"
+            )
+        if args.hedge_after == "auto":
+            hedge_after = "auto"
+        else:
+            try:
+                hedge_after = float(args.hedge_after)
+            except ValueError:
+                raise QueryError(
+                    f"--hedge-after must be a positive number of seconds "
+                    f"or 'auto', got {args.hedge_after!r}"
+                ) from None
+            if hedge_after <= 0:
+                raise QueryError(
+                    f"--hedge-after must be > 0, got {args.hedge_after}"
+                )
     ds = datasets.load_dataset(
         args.dataset, scale=args.scale, seed=args.seed,
         dimensions=args.dimensions,
@@ -488,6 +522,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             engine,
             args.worker_processes,
             drain_timeout=args.drain_timeout,
+            stall_timeout=args.stall_timeout,
+            hedge_after=hedge_after,
             fault_plan=fault_plan,
             source=snapshot_path,
             index_digest=index_digest,
@@ -501,6 +537,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             default_deadline=args.default_deadline,
             drain_timeout=args.drain_timeout,
             snapshot_path=snapshot_path,
+            brownout_enter=args.brownout_enter,
+            brownout_exit=args.brownout_exit,
+            brownout_hold=args.brownout_hold,
         )
     else:
         from repro.service.executor import EngineExecutor
@@ -516,6 +555,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             default_deadline=args.default_deadline,
             drain_timeout=args.drain_timeout,
             snapshot_path=snapshot_path,
+            brownout_enter=args.brownout_enter,
+            brownout_exit=args.brownout_exit,
+            brownout_hold=args.brownout_hold,
         )
 
     def banner() -> None:
@@ -680,6 +722,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--dimensions", type=int, default=DEFAULT_DIMENSIONS
     )
+    p_verify.add_argument(
+        "--deep", action="store_true",
+        help="also recompute each array's content checksum against the "
+             "manifest (catches bit-rot the shape/readability check "
+             "cannot; snapshots predating checksums pass trivially)",
+    )
     p_verify.set_defaults(func=cmd_index_verify)
 
     p_serve = sub.add_parser(
@@ -731,6 +779,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="grace period for in-flight requests on shutdown, live "
              "snapshot swap, and fleet resize before stragglers are "
              "terminated (default 5)",
+    )
+    p_serve.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="worker-tier stall watchdog: a worker that stops replying "
+             "for this long is killed and respawned, its in-flight "
+             "requests failing with retryable WorkerStalled (pool mode "
+             "only; default off)",
+    )
+    p_serve.add_argument(
+        "--hedge-after", default=None, metavar="SECONDS|auto",
+        help="hedged dispatch for idempotent searches: after this delay "
+             "without a reply, re-send to a second worker and return "
+             "whichever answers first ('auto' derives the delay from "
+             "the observed latency EWMA; pool mode only; default off)",
+    )
+    p_serve.add_argument(
+        "--brownout-enter", type=int, default=None, metavar="N",
+        help="in-flight requests at/above which the server enters "
+             "brownout mode, degrading deadline-bearing searches to "
+             "anytime partials (default: capacity + 3/4 of queue depth)",
+    )
+    p_serve.add_argument(
+        "--brownout-exit", type=int, default=None, metavar="N",
+        help="in-flight requests at/below which brownout ends "
+             "(default: half of --workers; must be below --brownout-enter)",
+    )
+    p_serve.add_argument(
+        "--brownout-hold", type=float, default=0.5, metavar="SECONDS",
+        help="pressure (or calm) must persist this long before the mode "
+             "flips — hysteresis against flapping (default 0.5)",
     )
     p_serve.add_argument(
         "--fault-plan", default=None, metavar="JSON",

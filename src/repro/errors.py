@@ -76,3 +76,32 @@ class WorkerCrashed(ServiceError):
     the supervisor restarts it from the pre-fork engine, so a retry is
     expected to succeed.  Queries are pure, which makes that retry safe.
     """
+
+
+class WorkerStalled(WorkerCrashed):
+    """A wedged worker was killed by the stall watchdog (HTTP 503).
+
+    Raised by the worker tier when a worker process stopped replying —
+    infinite loop, stuck syscall — for longer than the configured
+    ``stall_timeout`` (clamped to the request's deadline when one is
+    set).  The watchdog SIGKILLs the wedged process and only its
+    in-flight requests fail; the supervisor refills the slot through
+    the normal respawn path.  Subclasses :class:`WorkerCrashed`, so it
+    inherits the 503 mapping and the retry-is-safe semantics.
+    """
+
+
+class CircuitOpen(ServiceError):
+    """The client's circuit breaker is open: calls fail fast.
+
+    Raised client-side (never by the server) after ``breaker_threshold``
+    consecutive connection failures or worker-loss 503s; further calls
+    fail immediately instead of hammering a down service.  After
+    ``breaker_cooldown`` seconds one half-open probe is allowed — its
+    success closes the circuit, its failure re-opens it.  ``retry_after``
+    is the remaining cooldown in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

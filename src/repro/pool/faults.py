@@ -12,6 +12,12 @@ hoping a ``kill -9`` races the right request:
   simulating a stall on the reply pipe.
 * ``stall_drain`` — the worker sleeps on the graceful-stop sentinel,
   exercising the drain-timeout/terminate path of swap, resize and stop.
+* ``hang`` — the worker wedges forever upon receiving the Nth matching
+  op (blocking sleep loop, stops reading its pipe): the scriptable
+  stand-in for a stuck syscall, exercising the stall watchdog.
+* ``busy_loop`` — like ``hang`` but spinning the CPU instead of
+  sleeping: the stand-in for an infinite loop (the PR-1 GS-T
+  arrangement blow-up) that a wall-clock watchdog must still catch.
 * ``corrupt_snapshot`` — the next N admin snapshot loads fail with a
   typed :class:`~repro.errors.SnapshotError` before any worker is
   touched, proving the :class:`~repro.errors.ReloadError` rollback path.
@@ -38,7 +44,17 @@ from repro.errors import ServiceError, SnapshotError
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
-FAULT_KINDS = ("kill", "delay_reply", "stall_drain", "corrupt_snapshot")
+FAULT_KINDS = (
+    "kill",
+    "delay_reply",
+    "stall_drain",
+    "corrupt_snapshot",
+    "hang",
+    "busy_loop",
+)
+
+#: Kinds that wedge the worker process instead of killing or slowing it.
+WEDGE_KINDS = ("hang", "busy_loop")
 
 
 @dataclass(frozen=True)
@@ -111,8 +127,10 @@ class Fault:
             wire["count"] = self.count
             return wire
         wire.update(slot=self.slot, incarnation=self.incarnation)
-        if self.kind in ("kill", "delay_reply"):
+        if self.kind in ("kill", "delay_reply") or self.kind in WEDGE_KINDS:
             wire.update(op=self.op, after=self.after)
+        if self.kind in WEDGE_KINDS:
+            return wire
         if self.kind == "kill":
             wire["exit_code"] = self.exit_code
         else:
@@ -185,6 +203,24 @@ class FaultPlan:
                 and fault.after == nth
             ):
                 return fault.exit_code
+        return None
+
+    def wedge_kind(self, slot: int, incarnation: int, op: str, nth: int):
+        """``"hang"``/``"busy_loop"`` to wedge on this op, or ``None``.
+
+        Exact ``after == nth`` matching, like :meth:`kill_code`: the
+        wedge fires once per incarnation, and the watchdog-respawned
+        replacement (next incarnation) serves normally unless the fault
+        pins ``incarnation`` to ``None``.
+        """
+        for fault in self.faults:
+            if (
+                fault.kind in WEDGE_KINDS
+                and fault._matches_process(slot, incarnation)
+                and fault.op == op
+                and fault.after == nth
+            ):
+                return fault.kind
         return None
 
     def reply_delay(self, slot: int, incarnation: int, op: str, nth: int) -> float:

@@ -24,6 +24,24 @@ replacement is forked from the parent engine, with per-slot exponential
 backoff if a worker crash-loops at boot.  Requests on other workers are
 untouched; the pool never hangs on a dead process.
 
+**Stall watchdog.**  Process sentinels only see *dead* workers; a
+*wedged* one (infinite loop, stuck syscall) would silently blackhole
+its queue.  With ``stall_timeout`` set, the supervisor tick also checks
+every busy worker's time-since-last-reply (clamped to the oldest
+request's deadline plus a grace window, so a budgeted request never
+waits much past its own budget) and pings idle workers so a wedge is
+detected even without traffic.  A worker over budget is declared
+stalled, SIGKILLed, and refilled through the normal respawn path; only
+its in-flight requests fail, with the typed — and retryable —
+:class:`~repro.errors.WorkerStalled`.
+
+**Hedged dispatch.**  Searches are pure, so with ``hedge_after`` set a
+search still unanswered after that delay (or, with ``"auto"``, after an
+EWMA-derived p95-ish latency) is re-dispatched to a second worker and
+the first reply wins — one slow-but-alive worker no longer sets the
+tail latency.  ``hedges`` / ``hedge_wins`` / ``hedge_discarded``
+counters ride in :meth:`pool_wire`.
+
 **Zero-downtime operations.**  :meth:`swap` forks a full replacement
 fleet from a freshly loaded engine on a new snapshot *generation*,
 atomically redirects new dispatch to it, and gracefully drains the old
@@ -44,12 +62,14 @@ import threading
 import time
 import warnings
 import zlib
-from concurrent.futures import Future
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import wait as _future_wait
 from multiprocessing.connection import wait as _sentinel_wait
 
 from repro.engine import merge_telemetry
 from repro.engine.request import MACRequest
-from repro.errors import ReloadError, ServiceError, WorkerCrashed
+from repro.errors import ReloadError, ServiceError, WorkerCrashed, WorkerStalled
 from repro.pool.faults import FaultPlan
 from repro.pool.worker import worker_main
 from repro.service.protocol import (
@@ -60,6 +80,11 @@ from repro.service.protocol import (
 from repro.store.fingerprint import network_fingerprint
 
 _MAX_FAST_CRASHES = 6
+
+#: Grace added on top of a request's deadline when it clamps the stall
+#: watchdog budget: an anytime search legitimately runs right up to its
+#: deadline before replying partial, so the watchdog must not beat it.
+_STALL_GRACE = 1.0
 
 
 def _backoff_delay(fast_crashes: int) -> float:
@@ -90,13 +115,20 @@ class _Worker:
         self.incarnation = incarnation
         self.send_lock = threading.Lock()
         self.pending: dict[int, Future] = {}
+        # req_id -> (op, watchdog budget or None, sent_at); parallel to
+        # ``pending`` and maintained under the pool lock.
+        self.op_meta: dict[int, tuple[str, float | None, float]] = {}
         self.ready = threading.Event()
         self.info: dict = {}
         self.alive = True
         self.retired = False
+        self.stalled = False  # wedged per the watchdog; being killed
+        self.busy_since: float | None = None  # first unanswered send
         self.last_tel: dict | None = None
         self.started_at = time.monotonic()
+        self.last_ping = self.started_at
         self.served = 0
+        self.receiver: threading.Thread | None = None
 
     @property
     def depth(self) -> int:
@@ -126,6 +158,18 @@ class WorkerPool:
     drain_timeout:
         Default seconds a retiring worker gets to finish its in-flight
         requests before it is terminated (its leftovers fail typed).
+    stall_timeout:
+        Seconds a busy worker may go without replying before the
+        watchdog declares it wedged and SIGKILLs it (in-flight requests
+        fail with the retryable :class:`WorkerStalled`).  Clamped per
+        request to its deadline plus a grace window.  ``None`` (the
+        default) disables the watchdog.
+    hedge_after:
+        Seconds an in-flight search may go unanswered before it is
+        re-dispatched to a second worker, first reply wins; ``"auto"``
+        derives the delay from the reply-latency EWMA (mean + 3
+        deviations, a p95-ish cutoff).  ``None`` (the default) disables
+        hedging.  Searches are pure, so the duplicate is safe.
     fault_plan:
         Deterministic chaos hooks (:class:`FaultPlan`); defaults to the
         plan injected via ``REPRO_FAULT_PLAN`` (inert when unset).
@@ -143,6 +187,8 @@ class WorkerPool:
         spill_depth: int = 4,
         start_timeout: float = 120.0,
         drain_timeout: float = 5.0,
+        stall_timeout: float | None = None,
+        hedge_after: float | str | None = None,
         fault_plan: FaultPlan | None = None,
         source: str | None = None,
         index_digest: str | None = None,
@@ -153,6 +199,22 @@ class WorkerPool:
             raise ServiceError(f"spill_depth must be >= 1, got {spill_depth}")
         if drain_timeout <= 0:
             raise ServiceError(f"drain_timeout must be > 0, got {drain_timeout}")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ServiceError(
+                f"stall_timeout must be > 0 (or None to disable the "
+                f"watchdog), got {stall_timeout}"
+            )
+        if isinstance(hedge_after, str):
+            if hedge_after != "auto":
+                raise ServiceError(
+                    f"hedge_after must be seconds > 0, 'auto', or None, "
+                    f"got {hedge_after!r}"
+                )
+        elif hedge_after is not None and hedge_after <= 0:
+            raise ServiceError(
+                f"hedge_after must be seconds > 0, 'auto', or None, "
+                f"got {hedge_after}"
+            )
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-unix
@@ -165,6 +227,8 @@ class WorkerPool:
         self.spill_depth = spill_depth
         self.start_timeout = start_timeout
         self.drain_timeout = drain_timeout
+        self.stall_timeout = stall_timeout
+        self.hedge_after = hedge_after
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._source = source
         self._index_digest = index_digest
@@ -186,6 +250,12 @@ class WorkerPool:
         self._backoff_until = [0.0] * num_workers
         self._pending_respawn: set[int] = set()
         self._crashed_requests = 0
+        self._stalled_workers = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._hedge_discarded = 0
+        self._search_ewma: float | None = None  # ok-search reply latency
+        self._search_dev = 0.0  # its mean absolute deviation
         self._dispatched = {"affinity": 0, "spill": 0, "failover": 0}
         self._retired_tel = None  # EngineTelemetry of dead/drained workers
         self._started_at = time.monotonic()
@@ -278,12 +348,13 @@ class WorkerPool:
             process.start()
         child_conn.close()
         worker = _Worker(slot, process, parent_conn, generation, incarnation)
-        threading.Thread(
+        worker.receiver = threading.Thread(
             target=self._receive,
             args=(worker,),
             name=f"mac-pool-recv-{slot}",
             daemon=True,
-        ).start()
+        )
+        worker.receiver.start()
         return worker
 
     def _spawn(self, slot: int) -> None:
@@ -566,7 +637,9 @@ class WorkerPool:
         workers = [w for w in workers if w is not None]
         tel_futures: dict[_Worker, Future] = {}
         for worker in workers:
-            if not worker.alive:
+            if not worker.alive or worker.stalled:
+                # A stalled worker is not reading its pipe; its last
+                # collected snapshot stands.
                 continue
             try:
                 tel_futures[worker] = self._submit(
@@ -604,6 +677,11 @@ class WorkerPool:
                 terminated += 1
             else:
                 drained += 1
+            if worker.receiver is not None:
+                # Let the receive thread drain any replies still
+                # buffered in the dead worker's pipe (it exits on EOF)
+                # before failing what genuinely never answered.
+                worker.receiver.join(timeout=1.0)
             self._finalize(
                 worker,
                 WorkerCrashed(
@@ -624,6 +702,8 @@ class WorkerPool:
             worker.alive = False
             pending = list(worker.pending.values())
             worker.pending.clear()
+            worker.op_meta.clear()
+            worker.busy_since = None
             self._retiring.discard(worker)
             in_slot = (
                 worker.slot < len(self._workers)
@@ -671,9 +751,30 @@ class WorkerPool:
                 worker.ready.set()
                 continue
             req_id, ok, payload = message
+            now = time.monotonic()
             with self._lock:
                 future = worker.pending.pop(req_id, None)
+                meta = worker.op_meta.pop(req_id, None)
                 worker.served += 1
+                # Any reply proves liveness: the watchdog clock restarts
+                # (or stops, if the queue just went idle).
+                worker.busy_since = now if worker.pending else None
+                if ok and meta is not None and meta[0] == "telemetry":
+                    # Recorded here (not just by the poller waiting on
+                    # the future) so a worker that answers its final
+                    # drain poll and exits has the fresh counters on it
+                    # by the time the post-receiver-join finalize folds
+                    # them — however the poller/supervisor race lands.
+                    worker.last_tel = payload
+                if ok and meta is not None and meta[0] == "search":
+                    elapsed = now - meta[2]
+                    if self._search_ewma is None:
+                        self._search_ewma = elapsed
+                    else:
+                        self._search_dev += 0.2 * (
+                            abs(elapsed - self._search_ewma) - self._search_dev
+                        )
+                        self._search_ewma += 0.2 * (elapsed - self._search_ewma)
             if future is None:
                 continue  # abandoned (e.g. a timed-out telemetry poll)
             if ok:
@@ -684,6 +785,9 @@ class WorkerPool:
     def _supervise(self) -> None:
         while not self._stopping.is_set():
             self._respawn_due()
+            if self.stall_timeout is not None:
+                self._watchdog_check()
+                self._heartbeat()
             with self._lock:
                 sentinels = {
                     w.process.sentinel: w
@@ -696,12 +800,91 @@ class WorkerPool:
             for sentinel in _sentinel_wait(list(sentinels), timeout=0.1):
                 self._on_death(sentinels[sentinel])
 
+    def _watchdog_check(self) -> None:
+        """SIGKILL workers that have been busy past their stall budget.
+
+        Runs on the supervisor tick.  A worker is wedged when its
+        oldest unanswered op has waited longer than its watchdog budget
+        (``stall_timeout``, deadline-clamped at submit time) since the
+        worker last replied anything.  SIGKILL is the only lever that
+        works on a process stuck in an infinite loop or a syscall; the
+        process sentinel then fires :meth:`_on_death`, which fails the
+        in-flight requests with :class:`WorkerStalled` and refills the
+        slot through the normal respawn path.
+        """
+        now = time.monotonic()
+        victims: list[_Worker] = []
+        with self._lock:
+            for worker in [*self._workers, *self._retiring]:
+                if (
+                    worker is None
+                    or not worker.alive
+                    or worker.stalled
+                    or worker.busy_since is None
+                ):
+                    continue
+                oldest = next(iter(worker.pending), None)
+                meta = worker.op_meta.get(oldest) if oldest is not None else None
+                budget = self.stall_timeout
+                if meta is not None and meta[1] is not None:
+                    budget = meta[1]
+                if now - worker.busy_since > budget:
+                    worker.stalled = True
+                    self._stalled_workers += 1
+                    victims.append(worker)
+        for worker in victims:
+            worker.process.kill()
+
+    def _heartbeat(self) -> None:
+        """Ping idle workers so a wedge is detected without traffic.
+
+        The ping is just another op with the full ``stall_timeout``
+        budget: a worker that wedged while its queue was empty (or that
+        swallows the ping itself) accrues an unanswered op, and the
+        watchdog catches it on a later tick.  Replies are abandoned —
+        :meth:`_receive` pops them and resets the busy clock.
+        """
+        now = time.monotonic()
+        with self._lock:
+            idle = [
+                w
+                for w in self._workers
+                if w is not None
+                and w.alive
+                and not w.retired
+                and not w.stalled
+                and not w.pending
+                and now - w.last_ping >= self.stall_timeout / 2
+            ]
+            for worker in idle:
+                worker.last_ping = now
+        for worker in idle:
+            try:
+                self._submit(worker, "ping", None)
+            except _PipeDied:
+                pass
+
     def _on_death(self, worker: _Worker) -> None:
         """Fail the dead worker's in-flight requests; schedule a
         replacement fork (with crash-loop backoff) if it held a slot."""
         worker.process.join(timeout=1.0)
+        # The sentinel can fire before the receive thread has drained
+        # the pipe: a worker that replied and exited cleanly may still
+        # look "in flight" here.  The dead process's pipe end is closed,
+        # so the receiver is guaranteed to consume every buffered reply
+        # and hit EOF — wait for it so delivered results beat the
+        # synthetic crash error.
+        if worker.receiver is not None:
+            worker.receiver.join(timeout=1.0)
         pid = worker.info.get("pid", worker.process.pid)
-        if worker.retired:
+        if worker.stalled:
+            error = WorkerStalled(
+                f"worker {worker.slot} (pid {pid}) stopped replying for "
+                f"longer than its stall budget and was killed by the "
+                f"watchdog with this request in flight; the supervisor is "
+                f"refilling the slot — a retry is safe"
+            )
+        elif worker.retired:
             error = WorkerCrashed(
                 f"worker {worker.slot} (pid {pid}) died with exit code "
                 f"{worker.process.exitcode} while draining with this "
@@ -769,7 +952,11 @@ class WorkerPool:
     def _choose(self, request: MACRequest) -> _Worker:
         affinity = self.route_for(request)
         with self._lock:
-            alive = [w for w in self._workers if w is not None and w.alive]
+            alive = [
+                w
+                for w in self._workers
+                if w is not None and w.alive and not w.stalled
+            ]
             if not alive:
                 raise WorkerCrashed(
                     f"all {self.num_workers} worker process(es) are down; "
@@ -781,7 +968,7 @@ class WorkerPool:
                 if affinity < len(self._workers)
                 else None
             )
-            if target is None or not target.alive:
+            if target is None or not target.alive or target.stalled:
                 self._dispatched["failover"] += 1
                 return least
             if target.depth >= self.spill_depth and least.depth < target.depth:
@@ -795,10 +982,21 @@ class WorkerPool:
     ) -> Future:
         req_id = next(self._req_ids)
         future: Future = Future()
+        budget = self.stall_timeout
+        if budget is not None and op == "search":
+            deadline = payload[0].deadline
+            if deadline is not None:
+                # A budgeted request must not wait for the full watchdog
+                # window: clamp to its own deadline (plus grace for the
+                # anytime path, which replies partial *at* the deadline).
+                budget = min(budget, deadline + _STALL_GRACE)
         with self._lock:
             if not worker.alive:
                 raise _PipeDied()
             worker.pending[req_id] = future
+            worker.op_meta[req_id] = (op, budget, time.monotonic())
+            if worker.busy_since is None:
+                worker.busy_since = time.monotonic()
         died = stale = False
         with worker.send_lock:
             # Re-checked under the send lock: a worker retired by a
@@ -816,6 +1014,9 @@ class WorkerPool:
         if stale or died:
             with self._lock:
                 worker.pending.pop(req_id, None)
+                worker.op_meta.pop(req_id, None)
+                if not worker.pending:
+                    worker.busy_since = None
             if died:
                 # The pipe died under us: handle the crash immediately
                 # instead of waiting for the supervisor's sentinel pass.
@@ -823,11 +1024,12 @@ class WorkerPool:
             raise _PipeDied()
         return future
 
-    def _dispatch(self, op: str, payload, request: MACRequest) -> Future:
+    def _dispatch(self, op: str, payload, request: MACRequest):
+        """Route + submit; returns ``(future, worker)`` for hedging."""
         for _ in range(self.num_workers + 1):
             worker = self._choose(request)
             try:
-                return self._submit(worker, op, payload)
+                return self._submit(worker, op, payload), worker
             except _PipeDied:
                 continue  # that worker just died or retired; re-route
         raise WorkerCrashed(
@@ -858,19 +1060,97 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # the executor surface
     # ------------------------------------------------------------------
+    def _hedge_delay(self) -> float | None:
+        """Seconds before an unanswered search is hedged, or ``None``.
+
+        ``"auto"`` derives the delay from the reply-latency EWMA (mean
+        plus three mean-absolute-deviations — a p95-ish cutoff) and
+        stays disabled until the first sample lands.
+        """
+        if self.hedge_after is None:
+            return None
+        if self.hedge_after == "auto":
+            with self._lock:
+                if self._search_ewma is None:
+                    return None
+                return max(0.005, self._search_ewma + 3.0 * self._search_dev)
+        return self.hedge_after
+
+    def _hedge_submit(self, payload, primary: _Worker) -> Future | None:
+        """Re-dispatch a slow search to the least-loaded other worker.
+
+        Returns ``None`` when no second worker is available (single
+        slot, everyone else dead/retiring/stalled) — the caller then
+        just keeps waiting on the primary.
+        """
+        with self._lock:
+            candidates = [
+                w
+                for w in self._workers
+                if w is not None
+                and w.alive
+                and not w.retired
+                and not w.stalled
+                and w is not primary
+            ]
+            if not candidates:
+                return None
+            worker = min(candidates, key=lambda w: (w.depth, w.slot))
+        try:
+            future = self._submit(worker, "search", payload)
+        except _PipeDied:
+            return None
+        with self._lock:
+            self._hedges += 1
+        return future
+
     def search_wire(self, request: MACRequest) -> dict:
         """Run one search on the tier; returns the result in wire form.
 
         Blocks until the routed worker answers.  If that worker dies
         first, raises the typed :class:`WorkerCrashed` the supervisor
-        set — never hangs on a dead process.
+        set — never hangs on a dead process.  With hedging enabled, a
+        search unanswered after the hedge delay is re-sent (same
+        payload, same submit timestamp, so worker-side queue-wait
+        charging stays honest) to a second worker and the first
+        successful reply wins; the loser's reply is discarded.
         """
-        future = self._dispatch("search", (request, time.monotonic()), request)
+        payload = (request, time.monotonic())
+        future, primary = self._dispatch("search", payload, request)
+        delay = self._hedge_delay()
+        if delay is None:
+            return future.result()
+        try:
+            return future.result(timeout=delay)
+        except _FutureTimeout:
+            pass
+        hedge = self._hedge_submit(payload, primary)
+        if hedge is None:
+            return future.result()
+        pair = {future: "primary", hedge: "hedge"}
+        remaining = dict(pair)
+        while remaining:
+            done, _ = _future_wait(list(remaining), return_when=FIRST_COMPLETED)
+            for finished in done:
+                remaining.pop(finished, None)
+            winner = next(
+                (f for f in done if f.exception() is None), None
+            )
+            if winner is not None:
+                with self._lock:
+                    if pair[winner] == "hedge":
+                        self._hedge_wins += 1
+                    if remaining:
+                        # The loser is still in flight; its eventual
+                        # reply is dropped by design (searches are pure).
+                        self._hedge_discarded += 1
+                return winner.result()
+        # Both attempts failed: surface the primary's error.
         return future.result()
 
     def explain_wire(self, request: MACRequest) -> dict:
         """Resolve a plan on the request's affinity worker (wire form)."""
-        return self._dispatch("explain", request, request).result()
+        return self._dispatch("explain", request, request)[0].result()
 
     def telemetry_wire(self, timeout: float = 1.0) -> dict:
         """Merged engine telemetry across the fleet, in wire form.
@@ -887,7 +1167,10 @@ class WorkerPool:
             workers = [
                 w
                 for w in [*self._workers, *self._retiring]
-                if w is not None and w.alive
+                # A stalled worker would never answer the poll: skip it
+                # (its last snapshot is merged below) so the endpoint
+                # degrades instead of burning the whole timeout.
+                if w is not None and w.alive and not w.stalled
             ]
         futures: dict[_Worker, Future] = {}
         for worker in workers:
@@ -928,6 +1211,7 @@ class WorkerPool:
                 entries.append({
                     "worker": slot,
                     "alive": up,
+                    "stalled": bool(worker and worker.stalled),
                     "pid": worker.info.get("pid") if worker else None,
                     "restarts": self._restarts[slot],
                     "generation": worker.generation if worker else None,
@@ -941,6 +1225,7 @@ class WorkerPool:
                 "restarts": sum(self._restarts) + self._retired_restarts,
                 "generation": self._generation,
                 "draining": len(self._retiring),
+                "stalled_workers": self._stalled_workers,
                 "workers": entries,
             }
 
@@ -955,6 +1240,7 @@ class WorkerPool:
                     entries.append({
                         "worker": slot,
                         "alive": False,
+                        "stalled": False,
                         "restarts": self._restarts[slot],
                         "crash_loops": self._fast_crashes[slot],
                         "restart_backoff_remaining": backoff,
@@ -964,6 +1250,7 @@ class WorkerPool:
                 entries.append({
                     "worker": slot,
                     "alive": worker.alive,
+                    "stalled": worker.stalled,
                     "pid": worker.info.get("pid"),
                     "restarts": self._restarts[slot],
                     "generation": worker.generation,
@@ -982,6 +1269,12 @@ class WorkerPool:
                 "generation": self._generation,
                 "draining": len(self._retiring),
                 "crashed_requests": self._crashed_requests,
+                "stall_timeout": self.stall_timeout,
+                "stalled_workers": self._stalled_workers,
+                "hedge_after": self.hedge_after,
+                "hedges": self._hedges,
+                "hedge_wins": self._hedge_wins,
+                "hedge_discarded": self._hedge_discarded,
                 "dispatched": dict(self._dispatched),
                 "fault_plan": self.fault_plan.to_wire(),
                 "workers": entries,

@@ -135,6 +135,19 @@ def worker_main(
             code = fault_plan.kill_code(worker_id, incarnation, op, nth)
             if code is not None:
                 os._exit(code)  # before serving: the request dies in flight
+            wedge = fault_plan.wedge_kind(worker_id, incarnation, op, nth)
+            if wedge == "hang":
+                # Wedge forever in a blocking sleep: the pipe stops being
+                # read, the request never answers — only SIGKILL (from
+                # the parent's stall watchdog) gets this process back.
+                while True:
+                    time.sleep(60.0)
+            if wedge == "busy_loop":
+                # Wedge spinning the CPU — an infinite loop rather than
+                # a stuck syscall; equally invisible to process sentinels.
+                x = 0
+                while True:
+                    x = (x + 1) % 1_000_003
             delay = fault_plan.reply_delay(worker_id, incarnation, op, nth)
         try:
             reply = (req_id, True, _handle(worker_id, engine, op, payload))

@@ -22,6 +22,16 @@ transparently.  Server-side back-pressure surfaces as
 ``retry_overloaded=N`` the client absorbs up to N back-pressure
 rejections itself, sleeping a capped exponential backoff (with jitter,
 honoring the server's hint) between attempts.
+
+With ``breaker_threshold=N`` the client also runs a circuit breaker:
+after N *consecutive* connection failures (or worker-loss 503s) the
+circuit opens and calls fail fast with the typed
+:class:`~repro.errors.CircuitOpen` instead of hammering a down
+service.  After ``breaker_cooldown`` seconds one half-open probe call
+is let through — success closes the circuit, failure re-opens it.
+Only transport failures and :class:`~repro.errors.WorkerCrashed`
+count: any parsed HTTP response (even a 4xx error) proves the server
+is reachable and resets the breaker.
 """
 
 from __future__ import annotations
@@ -33,7 +43,12 @@ import socket
 import time
 
 from repro.engine.request import MACRequest
-from repro.errors import ServiceError, ServiceOverloaded
+from repro.errors import (
+    CircuitOpen,
+    ServiceError,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
 from repro.service.protocol import (
     DEFAULT_PORT,
     ServicePlan,
@@ -43,6 +58,16 @@ from repro.service.protocol import (
     request_to_wire,
     result_from_wire,
 )
+
+
+class _ConnectionFailed(ServiceError):
+    """Internal: the service could not be reached or stopped answering.
+
+    Every transport-level raise site uses this subclass so the circuit
+    breaker can tell "the server is unreachable" apart from "the server
+    answered with an error" without string matching.  Public surface is
+    unchanged — callers still catch :class:`ServiceError`.
+    """
 
 
 class ServiceClient:
@@ -58,6 +83,8 @@ class ServiceClient:
         retry_overloaded: int = 0,
         retry_backoff: float = 0.25,
         retry_backoff_cap: float = 10.0,
+        breaker_threshold: int = 0,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         if retry_overloaded < 0:
             raise ServiceError(
@@ -65,6 +92,14 @@ class ServiceClient:
             )
         if retry_backoff <= 0 or retry_backoff_cap <= 0:
             raise ServiceError("retry backoff parameters must be positive")
+        if breaker_threshold < 0:
+            raise ServiceError(
+                f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
+        if breaker_cooldown <= 0:
+            raise ServiceError(
+                f"breaker_cooldown must be positive, got {breaker_cooldown}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -82,6 +117,14 @@ class ServiceClient:
         self.retry_overloaded = retry_overloaded
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
+        #: Circuit breaker: consecutive connection/worker-loss failures
+        #: before the circuit opens (0 = disabled, the default) and how
+        #: long it stays open before a half-open probe is allowed.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breaker_failures = 0
+        self._breaker_open_until: float | None = None
+        self._breaker_probing = False
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -105,13 +148,61 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- circuit breaker ----------------------------------------------
+    def _breaker_preflight(self) -> None:
+        """Fail fast while the circuit is open; arm the half-open probe."""
+        if not self.breaker_threshold or self._breaker_open_until is None:
+            return
+        remaining = self._breaker_open_until - time.monotonic()
+        if remaining > 0:
+            raise CircuitOpen(
+                f"circuit to MAC service at {self.host}:{self.port} is "
+                f"open after {self._breaker_failures} consecutive "
+                f"connection failure(s); next probe in {remaining:.2f}s",
+                retry_after=remaining,
+            )
+        # Cooldown elapsed: let this one call through as the probe.
+        self._breaker_probing = True
+
+    def _breaker_success(self) -> None:
+        self._breaker_failures = 0
+        self._breaker_open_until = None
+        self._breaker_probing = False
+
+    def _breaker_record(self, exc: Exception) -> None:
+        """Count a failed call; open (or re-open) the circuit if due.
+
+        Only unreachability counts: transport failures and
+        :class:`WorkerCrashed` (the server's compute tier is dying
+        under us).  Any other typed error came in a parsed HTTP
+        response — the server is alive, so the streak resets.
+        """
+        if not self.breaker_threshold:
+            return
+        if isinstance(exc, (_ConnectionFailed, WorkerCrashed)):
+            self._breaker_failures += 1
+            if (
+                self._breaker_probing
+                or self._breaker_failures >= self.breaker_threshold
+            ):
+                self._breaker_open_until = (
+                    time.monotonic() + self.breaker_cooldown
+                )
+            self._breaker_probing = False
+        else:
+            self._breaker_success()
+
     def _call(self, method: str, path: str, payload=None) -> dict:
-        """One logical call: transport retries + bounded 429 backoff."""
+        """One logical call: breaker + transport retries + 429 backoff."""
         attempt = 0
         while True:
+            self._breaker_preflight()
             try:
-                return self._call_once(method, path, payload)
+                result = self._call_once(method, path, payload)
             except ServiceOverloaded as exc:
+                # Back-pressure is a healthy server answering: the
+                # breaker resets even while we back off.
+                self._breaker_success()
                 if attempt >= self.retry_overloaded:
                     raise
                 backoff = self.retry_backoff * (2**attempt)
@@ -119,6 +210,12 @@ class ServiceClient:
                 delay = min(self.retry_backoff_cap, max(hint, backoff))
                 time.sleep(delay * (0.75 + 0.5 * random.random()))
                 attempt += 1
+                continue
+            except Exception as exc:
+                self._breaker_record(exc)
+                raise
+            self._breaker_success()
+            return result
 
     def _call_once(self, method: str, path: str, payload=None) -> dict:
         body = None
@@ -141,7 +238,7 @@ class ServiceClient:
                 conn.request(method, path, body=body, headers=headers)
             except socket.timeout as exc:
                 self.close()
-                raise ServiceError(
+                raise _ConnectionFailed(
                     f"MAC service at {self.host}:{self.port} timed out "
                     f"after {self.timeout:g}s"
                 ) from exc
@@ -149,7 +246,7 @@ class ServiceClient:
                 self.close()
                 if retriable:
                     continue  # the stale socket never carried the request
-                raise ServiceError(
+                raise _ConnectionFailed(
                     f"cannot reach MAC service at "
                     f"{self.host}:{self.port}: {exc}"
                 ) from exc
@@ -159,7 +256,7 @@ class ServiceClient:
                 break
             except socket.timeout as exc:
                 self.close()
-                raise ServiceError(
+                raise _ConnectionFailed(
                     f"MAC service at {self.host}:{self.port} timed out "
                     f"after {self.timeout:g}s"
                 ) from exc
@@ -167,7 +264,7 @@ class ServiceClient:
                 self.close()
                 if retriable:
                     continue  # classic stale keep-alive: no response sent
-                raise ServiceError(
+                raise _ConnectionFailed(
                     f"MAC service at {self.host}:{self.port} closed the "
                     f"connection without responding: {exc}"
                 ) from exc
@@ -184,7 +281,7 @@ class ServiceClient:
                     # one replay trades at worst duplicate engine work
                     # for not failing a retriable request.
                     continue
-                raise ServiceError(
+                raise _ConnectionFailed(
                     f"connection to MAC service at {self.host}:{self.port} "
                     f"was lost while awaiting the response: {exc}"
                 ) from exc

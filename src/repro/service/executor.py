@@ -82,6 +82,7 @@ class EngineExecutor:
             "total": 1,
             "restarts": 0,
             "generation": self._generation,
+            "stalled_workers": 0,
             "workers": [],
         }
 

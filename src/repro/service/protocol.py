@@ -42,10 +42,13 @@ DEFAULT_PORT = 8321
 #: Typed errors a client may safely retry: queries are pure, and each
 #: of these means "the request did not damage anything server-side" —
 #: back-pressure (429), a worker lost mid-flight (503, the supervisor
-#: is already restarting it), or a refused admin operation (409, the
-#: fleet was rolled back untouched).  Chaos tests and retry loops key
-#: off this set rather than hard-coding type names.
-RETRYABLE_ERRORS = ("ServiceOverloaded", "WorkerCrashed", "ReloadError")
+#: is already restarting it — including a wedged worker killed by the
+#: stall watchdog), or a refused admin operation (409, the fleet was
+#: rolled back untouched).  Chaos tests and retry loops key off this
+#: set rather than hard-coding type names.
+RETRYABLE_ERRORS = (
+    "ServiceOverloaded", "WorkerCrashed", "WorkerStalled", "ReloadError",
+)
 
 #: Optional request knobs and their defaults (fields beyond the
 #: required query/k/t/region); the encoder omits default values so the

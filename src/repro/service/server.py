@@ -48,6 +48,19 @@ budget died in the queue fails fast (504, typed
 :class:`~repro.errors.DeadlineExceeded`) without occupying a worker.
 ``default_deadline`` applies a server-side budget to requests that do
 not carry one, so one pathological query cannot wedge a slot forever.
+
+**Load shedding & brownout.**  Two earlier outs keep an overloaded
+server from doing doomed work: a budgeted search whose EWMA-predicted
+queue wait already exceeds its remaining budget is rejected at
+admission (429 + ``Retry-After`` — cheaper for everyone than a certain
+504), and under *sustained* pressure the server enters **brownout**
+mode: deadline-bearing searches are auto-degraded to ``anytime=True``
+so they return marked partial results at their budget instead of
+timing out — graceful degradation rather than a 5xx storm.  Entry and
+exit are hysteretic (``brownout_enter``/``brownout_exit`` in-flight
+thresholds, each sustained for ``brownout_hold`` seconds); healthz
+reports ``mode: normal|brownout`` and ``/v1/metrics`` counts degraded
+and shed requests.  See ENGINE.md ("Degradation & tail latency").
 """
 
 from __future__ import annotations
@@ -191,6 +204,17 @@ class MACService:
         The snapshot ``/v1/admin/reload`` (and ``SIGHUP``) reloads when
         the request names none — normally the path the server booted
         from.
+    brownout_enter:
+        In-flight requests at or above which (sustained for
+        ``brownout_hold`` seconds) the server enters brownout mode.
+        Defaults to three quarters into the admission queue.
+    brownout_exit:
+        In-flight requests at or below which (sustained for
+        ``brownout_hold`` seconds) a brownout ends.  Must be below
+        ``brownout_enter``; defaults to half of ``max_concurrency``.
+    brownout_hold:
+        Hysteresis hold (seconds) for both brownout transitions, so a
+        single burst or a momentary lull does not flap the mode.
     """
 
     def __init__(
@@ -205,6 +229,9 @@ class MACService:
         default_deadline: float | None = None,
         drain_timeout: float = 5.0,
         snapshot_path: str | None = None,
+        brownout_enter: int | None = None,
+        brownout_exit: int | None = None,
+        brownout_hold: float = 0.5,
     ) -> None:
         if (engine is None) == (executor is None):
             raise ServiceError(
@@ -226,6 +253,24 @@ class MACService:
             raise ServiceError(
                 f"drain_timeout must be positive, got {drain_timeout}"
             )
+        if brownout_enter is None:
+            # Deep into the admission queue: pressure, not a burst.
+            brownout_enter = max_concurrency + max(1, 3 * queue_depth // 4)
+        if brownout_exit is None:
+            brownout_exit = max(0, max_concurrency // 2)
+        if brownout_enter < 1:
+            raise ServiceError(
+                f"brownout_enter must be >= 1, got {brownout_enter}"
+            )
+        if brownout_exit < 0 or brownout_exit >= brownout_enter:
+            raise ServiceError(
+                f"brownout_exit must be in [0, brownout_enter), got "
+                f"{brownout_exit} (enter {brownout_enter})"
+            )
+        if brownout_hold <= 0:
+            raise ServiceError(
+                f"brownout_hold must be positive, got {brownout_hold}"
+            )
         self.executor = (
             executor if executor is not None else EngineExecutor(engine)
         )
@@ -240,6 +285,9 @@ class MACService:
         self.default_deadline = default_deadline
         self.drain_timeout = drain_timeout
         self.snapshot_path = snapshot_path
+        self.brownout_enter = brownout_enter
+        self.brownout_exit = brownout_exit
+        self.brownout_hold = brownout_hold
         # The single engine-call pool: its width IS the concurrency
         # bound — every search, including each batch item, runs on it.
         self._pool = _DaemonExecutor(
@@ -267,6 +315,17 @@ class MACService:
         self._resizes = 0
         self._admin_tasks: set[asyncio.Task] = set()
         self._latency_ewma = 0.1  # seconds; seeds the Retry-After estimate
+        # Degradation state.  ``_mode`` transitions happen only on the
+        # event loop (in _dispatch); the shed/degrade counters are also
+        # bumped from pool worker threads, hence the lock.
+        self._mode = "normal"
+        self._pressure_since: float | None = None
+        self._calm_since: float | None = None
+        self._brownouts = 0
+        self._counters_lock = threading.Lock()
+        self._brownout_degraded = 0
+        self._shed_expired = 0
+        self._shed_predicted = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -546,6 +605,7 @@ class MACService:
     async def _dispatch(self, method: str, path: str, body: bytes):
         """Route one request; returns (status, payload, extra_headers)."""
         self._requests_total += 1
+        self._update_mode()
         routes = {
             "/v1/search": ("POST", self._handle_search),
             "/v1/batch": ("POST", self._handle_batch),
@@ -613,6 +673,84 @@ class MACService:
             }}, ()
 
     # ------------------------------------------------------------------
+    # degradation: brownout mode + load shedding
+    # ------------------------------------------------------------------
+    def _update_mode(self) -> None:
+        """Advance the normal/brownout state machine (event loop only).
+
+        Both transitions are hysteretic: the in-flight count must stay
+        past the threshold for ``brownout_hold`` seconds, observed
+        across dispatches (healthz/metrics polls advance it too), so a
+        single burst or lull does not flap the mode.
+        """
+        now = time.monotonic()
+        if self._mode == "normal":
+            self._calm_since = None
+            if self._in_flight >= self.brownout_enter:
+                if self._pressure_since is None:
+                    self._pressure_since = now
+                elif now - self._pressure_since >= self.brownout_hold:
+                    self._mode = "brownout"
+                    self._brownouts += 1
+                    self._pressure_since = None
+            else:
+                self._pressure_since = None
+        else:
+            self._pressure_since = None
+            if self._in_flight <= self.brownout_exit:
+                if self._calm_since is None:
+                    self._calm_since = now
+                elif now - self._calm_since >= self.brownout_hold:
+                    self._mode = "normal"
+                    self._calm_since = None
+            else:
+                self._calm_since = None
+
+    def _degrade_for_brownout(self, request):
+        """In brownout, budgeted searches become anytime (marked partial).
+
+        A deadline-bearing request under pressure would likely burn its
+        budget queueing and 504; served as anytime it returns its
+        best-so-far answer *at* the budget instead.  Requests that are
+        already anytime, or carry no deadline, pass through unchanged.
+        """
+        if (
+            self._mode == "brownout"
+            and request.deadline is not None
+            and not request.anytime
+        ):
+            with self._counters_lock:
+                self._brownout_degraded += 1
+            return replace(request, anytime=True)
+        return request
+
+    def _predictive_shed(self, request) -> None:
+        """Reject a budgeted search whose queue wait is already hopeless.
+
+        When every compute slot is busy, the EWMA service latency
+        predicts how long this request would wait; if that alone
+        exceeds its remaining budget, admitting it only converts a
+        cheap 429-now into an expensive 504-later.  Anytime requests
+        are never shed — a partial answer beats a rejection.
+        """
+        if (
+            request.deadline is None
+            or request.anytime
+            or self._in_flight < self.max_concurrency
+        ):
+            return
+        backlog = self._in_flight - self.max_concurrency + 1
+        predicted = self._latency_ewma * backlog / self.max_concurrency
+        if predicted > request.deadline:
+            with self._counters_lock:
+                self._shed_predicted += 1
+            raise ServiceOverloaded(
+                f"predicted queue wait {predicted:.3f}s exceeds this "
+                f"request's {request.deadline:g}s budget; shed at admission",
+                retry_after=self._retry_after(),
+            )
+
+    # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
     def _retry_after(self) -> float:
@@ -632,6 +770,8 @@ class MACService:
                 # can return its best-so-far partial answer; hand it the
                 # smallest legal budget instead of failing typed here.
                 return replace(request, deadline=1e-3)
+            with self._counters_lock:
+                self._shed_expired += 1
             raise DeadlineExceeded(
                 f"request spent its {request.deadline:g}s deadline in the "
                 f"admission queue ({waited:.3f}s queued)"
@@ -710,6 +850,10 @@ class MACService:
     # ------------------------------------------------------------------
     async def _handle_search(self, obj) -> dict:
         request = self._stamp_deadline(request_from_wire(obj))
+        # Degrade before shedding: a browned-out request is anytime and
+        # therefore never shed — it serves partial instead of 429ing.
+        request = self._degrade_for_brownout(request)
+        self._predictive_shed(request)
         loop = asyncio.get_running_loop()
 
         async def run(reqs: list):
@@ -736,7 +880,9 @@ class MACService:
         for i, item in enumerate(raw):
             try:
                 requests.append(
-                    self._stamp_deadline(request_from_wire(item))
+                    self._degrade_for_brownout(
+                        self._stamp_deadline(request_from_wire(item))
+                    )
                 )
             except ReproError as exc:
                 raise QueryError(f"requests[{i}]: {exc}") from exc
@@ -852,6 +998,7 @@ class MACService:
         degraded = workers["alive"] < workers["total"]
         return {
             "status": "degraded" if degraded else "ok",
+            "mode": self._mode,
             "version": __version__,
             "protocol_version": PROTOCOL_VERSION,
             "uptime_s": time.monotonic() - self._started_at,
@@ -894,6 +1041,16 @@ class MACService:
                 "resizes": self._resizes,
                 "drain_timeout": self.drain_timeout,
                 "latency_ewma_s": self._latency_ewma,
+            },
+            "degradation": {
+                "mode": self._mode,
+                "brownouts": self._brownouts,
+                "brownout_degraded": self._brownout_degraded,
+                "shed_expired": self._shed_expired,
+                "shed_predicted": self._shed_predicted,
+                "brownout_enter": self.brownout_enter,
+                "brownout_exit": self.brownout_exit,
+                "brownout_hold": self.brownout_hold,
             },
             "engine": self.executor.telemetry_wire(),
         }

@@ -136,6 +136,20 @@ def _dominance_key_from_json(entry: dict) -> tuple:
     )
 
 
+def _array_sha256(arr: np.ndarray) -> str:
+    """Content hash of one array: dtype + shape + C-contiguous bytes.
+
+    Hashing the logical content (not the on-disk encoding) keeps the
+    checksum stable across compressed/uncompressed saves and across
+    numpy serialization details.
+    """
+    digest = hashlib.sha256()
+    digest.update(arr.dtype.str.encode())
+    digest.update(repr(tuple(arr.shape)).encode())
+    digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
@@ -273,6 +287,11 @@ def save_snapshot(engine, path, *, compress: bool = True) -> dict:
             "dimensions": network.social.dimensionality,
         },
         "components": components,
+        # Per-array content hashes for `repro index verify --deep`.
+        # Additive: snapshots without this table (older saves) still
+        # load and shallow-verify; deep verification just reports zero
+        # checksums checked.
+        "checksums": {key: _array_sha256(arr) for key, arr in arrays.items()},
     }
 
     manifest_path = path / MANIFEST_FILE
@@ -663,19 +682,27 @@ def snapshot_info(path) -> dict:
     }
 
 
-def verify_snapshot(path, network: RoadSocialNetwork | None = None) -> dict:
+def verify_snapshot(
+    path, network: RoadSocialNetwork | None = None, *, deep: bool = False
+) -> dict:
     """Fully check a snapshot's integrity; raise ``SnapshotError`` if bad.
 
     Reads the manifest (format + version checks), decompresses every
     array the manifest promises (catching truncation/corruption), and —
-    when ``network`` is given — verifies the dataset fingerprint.
+    when ``network`` is given — verifies the dataset fingerprint.  With
+    ``deep=True``, additionally recomputes every array's sha256 content
+    hash against the manifest's ``checksums`` table, catching silent
+    bit-flips that still decompress cleanly; snapshots saved before the
+    table existed pass deep verification with ``checksums_checked: 0``.
     Returns the :func:`snapshot_info` dict augmented with the number of
-    arrays checked.
+    arrays (and checksums) checked.
     """
     path = Path(path)
     info = snapshot_info(path)
     manifest = info["manifest"]
     expected = _expected_keys(manifest)
+    checksums = manifest.get("checksums") if deep else None
+    checksums_checked = 0
     with _open_arrays(path) as npz:
         present = set(npz.files)
         for key in expected:
@@ -683,7 +710,16 @@ def verify_snapshot(path, network: RoadSocialNetwork | None = None) -> dict:
                 raise SnapshotError(
                     f"snapshot archive is missing array {key!r}"
                 )
-            _get(npz, key)  # decompress: surfaces truncated members
+            arr = _get(npz, key)  # decompress: surfaces truncated members
+            if checksums and key in checksums:
+                actual = _array_sha256(np.asarray(arr))
+                if actual != checksums[key]:
+                    raise SnapshotError(
+                        f"snapshot array {key!r} failed its content "
+                        f"checksum (expected {checksums[key][:16]}..., "
+                        f"got {actual[:16]}...); the archive is corrupted"
+                    )
+                checksums_checked += 1
     if network is not None:
         fingerprint = network_fingerprint(network)
         if fingerprint != manifest["fingerprint"]:
@@ -696,4 +732,6 @@ def verify_snapshot(path, network: RoadSocialNetwork | None = None) -> dict:
     else:
         info["fingerprint_checked"] = False
     info["arrays_checked"] = len(expected)
+    info["deep"] = bool(deep)
+    info["checksums_checked"] = checksums_checked
     return info

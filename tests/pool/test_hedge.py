@@ -1,0 +1,141 @@
+"""Hedged dispatch: a second worker races the straggling primary."""
+
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import ServiceError
+from repro.pool import FaultPlan, WorkerPool
+from repro.road.network import SpatialPoint
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(**knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), 3, 9.0, REGION, **knobs)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MACEngine(make_network())
+
+
+def straggler_plan(slot: int, count: int, seconds: float = 1.0) -> FaultPlan:
+    """Delay every one of the first ``count`` searches on ``slot``."""
+    return FaultPlan.parse([
+        {"kind": "delay_reply", "slot": slot, "op": "search",
+         "after": n, "seconds": seconds, "incarnation": None}
+        for n in range(1, count + 1)
+    ])
+
+
+class TestHedgeConfig:
+    def test_bad_hedge_after_is_typed(self, engine):
+        for bad in (0.0, -1.0, "soon"):
+            with pytest.raises(ServiceError, match="hedge_after"):
+                WorkerPool(engine, 2, hedge_after=bad)
+
+    def test_hedge_after_is_reported_in_pool_wire(self, engine):
+        with WorkerPool(engine, 2, hedge_after=0.25) as pool:
+            wire = pool.pool_wire()
+            assert wire["hedge_after"] == 0.25
+            assert wire["hedges"] == 0
+            assert wire["hedge_wins"] == 0
+            assert wire["hedge_discarded"] == 0
+
+
+class TestHedgedDispatch:
+    def test_hedge_rescues_a_straggling_primary(self, engine):
+        request = make_request()
+        slot = WorkerPool(engine, 2).route_for(request)
+        plan = straggler_plan(slot, count=1, seconds=1.0)
+        with WorkerPool(
+            engine, 2, hedge_after=0.05, fault_plan=plan
+        ) as pool:
+            started = time.monotonic()
+            result = pool.search_wire(request)
+            elapsed = time.monotonic() - started
+            assert result["partitions"]
+            assert elapsed < 0.9  # the 1.0s straggler did not gate us
+            wire = pool.pool_wire()
+            assert wire["hedges"] == 1
+            assert wire["hedge_wins"] == 1
+            # The primary was still in flight when the hedge won.
+            assert wire["hedge_discarded"] == 1
+
+    def test_no_hedge_when_the_primary_is_fast(self, engine):
+        with WorkerPool(engine, 2, hedge_after=5.0) as pool:
+            for _ in range(3):
+                assert pool.search_wire(make_request())["partitions"]
+            wire = pool.pool_wire()
+            assert wire["hedges"] == 0
+            assert wire["hedge_wins"] == 0
+
+    def test_counters_are_monotone_and_never_double_count(self, engine):
+        rounds = 4
+        request = make_request()
+        slot = WorkerPool(engine, 2).route_for(request)
+        plan = straggler_plan(slot, count=rounds, seconds=0.6)
+        with WorkerPool(
+            engine, 2, hedge_after=0.05, fault_plan=plan
+        ) as pool:
+            last = (0, 0, 0)
+            for _ in range(rounds):
+                assert pool.search_wire(request)["partitions"]
+                wire = pool.pool_wire()
+                now = (
+                    wire["hedges"], wire["hedge_wins"],
+                    wire["hedge_discarded"],
+                )
+                assert all(a >= b for a, b in zip(now, last))
+                assert wire["hedge_wins"] <= wire["hedges"]
+                assert wire["hedge_discarded"] <= wire["hedges"]
+                last = now
+            # One hedge per delayed search, each won exactly once.
+            assert last[0] == rounds
+            assert last[1] == rounds
+
+    def test_single_worker_pool_never_hedges(self, engine):
+        plan = straggler_plan(0, count=1, seconds=0.3)
+        with WorkerPool(
+            engine, 1, hedge_after=0.01, fault_plan=plan
+        ) as pool:
+            started = time.monotonic()
+            assert pool.search_wire(make_request())["partitions"]
+            # No second worker to race: the delay is simply paid.
+            assert time.monotonic() - started >= 0.3
+            assert pool.pool_wire()["hedges"] == 0
+
+    def test_auto_mode_seeds_from_the_latency_ewma(self, engine):
+        request = make_request()
+        slot = WorkerPool(engine, 2).route_for(request)
+        # First search is clean (seeds the EWMA); the second straggles.
+        plan = FaultPlan.parse(
+            {"kind": "delay_reply", "slot": slot, "op": "search",
+             "after": 2, "seconds": 1.0, "incarnation": None}
+        )
+        with WorkerPool(
+            engine, 2, hedge_after="auto", fault_plan=plan
+        ) as pool:
+            assert pool.search_wire(request)["partitions"]
+            assert pool.pool_wire()["hedges"] == 0  # no sample before it
+            started = time.monotonic()
+            assert pool.search_wire(request)["partitions"]
+            assert time.monotonic() - started < 0.9
+            wire = pool.pool_wire()
+            assert wire["hedge_after"] == "auto"
+            assert wire["hedges"] == 1
+            assert wire["hedge_wins"] == 1

@@ -1,0 +1,243 @@
+"""Stall watchdog: wedged workers are detected, killed, and refilled."""
+
+import threading
+import time
+
+import pytest
+
+from repro import MACEngine, MACRequest, PreferenceRegion
+from repro.errors import ServiceError, WorkerStalled
+from repro.pool import Fault, FaultPlan, WorkerPool
+from repro.road.network import SpatialPoint
+from repro.social.network import SocialNetwork
+from repro.social.roadsocial import RoadSocialNetwork
+
+from tests.conftest import paper_attributes, paper_road, paper_social_graph
+
+REGION = PreferenceRegion([0.1, 0.2], [0.5, 0.4])
+
+
+def make_network() -> RoadSocialNetwork:
+    locations = {v: SpatialPoint.at_vertex(v) for v in range(1, 16)}
+    return RoadSocialNetwork(
+        paper_road(),
+        SocialNetwork(paper_social_graph(), paper_attributes(), locations),
+    )
+
+
+def make_request(t: float = 9.0, **knobs) -> MACRequest:
+    return MACRequest.make((2, 3, 6), 3, t, REGION, **knobs)
+
+
+def requests_routed_to(pool: WorkerPool, slot: int, count: int):
+    """Distinct requests whose affinity route lands on ``slot``.
+
+    Routing hashes the request's core identity, so perturbing ``t``
+    walks the hash; the pool need not be started for ``route_for``.
+    """
+    out = []
+    t = 9.0
+    while len(out) < count:
+        request = make_request(t=t)
+        if pool.route_for(request) == slot:
+            out.append(request)
+        t += 0.01
+        if t > 12.0:  # pragma: no cover - hash would have to be degenerate
+            raise AssertionError("could not find requests for the slot")
+    return out
+
+
+def wait_until(predicate, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached before timeout")
+
+
+def refilled(pool) -> bool:
+    """The kill has landed AND the replacement is up: ``alive`` alone
+    can be observed before the SIGKILLed worker's sentinel fires, while
+    the old worker still counts as alive-but-stalled."""
+    wire = pool.workers_wire()
+    return (
+        wire["restarts"] >= 1
+        and wire["alive"] == wire["total"]
+        and not any(w["stalled"] for w in wire["workers"])
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MACEngine(make_network())
+
+
+class TestWedgeFaultParsing:
+    @pytest.mark.parametrize("kind", ["hang", "busy_loop"])
+    def test_wire_round_trip(self, kind):
+        fault = Fault.parse(
+            {"kind": kind, "slot": 1, "op": "search", "after": 2,
+             "incarnation": None}
+        )
+        assert Fault.parse(fault.to_wire()) == fault
+        # Wedge faults carry no seconds/exit_code payload on the wire.
+        assert "seconds" not in fault.to_wire()
+        assert "exit_code" not in fault.to_wire()
+
+    def test_wedge_kind_matches_only_its_coordinates(self):
+        plan = FaultPlan.parse(
+            {"kind": "hang", "slot": 1, "op": "search", "after": 2}
+        )
+        assert plan.wedge_kind(1, 0, "search", 2) == "hang"
+        assert plan.wedge_kind(1, 0, "search", 1) is None
+        assert plan.wedge_kind(0, 0, "search", 2) is None
+        assert plan.wedge_kind(1, 1, "search", 2) is None  # respawned
+        assert plan.wedge_kind(1, 0, "ping", 2) is None
+
+    def test_bad_config_is_typed(self):
+        with pytest.raises(ServiceError, match="stall_timeout"):
+            WorkerPool(MACEngine(make_network()), 1, stall_timeout=0.0)
+
+
+class TestStallWatchdog:
+    def test_watchdog_is_off_by_default(self, engine):
+        plan = FaultPlan.parse({"kind": "hang", "slot": 0, "after": 1})
+        pool = WorkerPool(engine, 1, fault_plan=plan).start()
+        try:
+            future = pool.submit_op(
+                0, "search", (make_request(), time.monotonic())
+            )
+            time.sleep(1.2)
+            # No watchdog: the wedge is invisible — the op just never
+            # completes and the worker stays "alive".
+            assert not future.done()
+            assert pool.workers_wire()["alive"] == 1
+            assert pool.pool_wire()["stalled_workers"] == 0
+        finally:
+            pool.stop(timeout=0.5)  # drain escalates past the wedge
+
+    def test_hang_under_concurrent_load(self, engine):
+        """The ISSUE acceptance scenario: one worker wedges mid-search
+        under three-thread load; the watchdog SIGKILLs and refills it,
+        the wedged request fails typed, and the others complete exactly.
+        """
+        stall = 0.6
+        probe = WorkerPool(engine, 2)  # never started: routing only
+        doomed = make_request()
+        wedged_slot = probe.route_for(doomed)
+        healthy = requests_routed_to(probe, 1 - wedged_slot, 2)
+        plan = FaultPlan.parse(
+            {"kind": "hang", "slot": wedged_slot, "op": "search",
+             "after": 1, "incarnation": 0}
+        )
+        reference = [
+            [[sorted(c.members) for c in e.communities]
+             for e in engine.search(r).partitions]
+            for r in healthy
+        ]
+        outcomes: dict = {}
+        with WorkerPool(
+            engine, 2, stall_timeout=stall, fault_plan=plan
+        ) as pool:
+            def run(name, request):
+                try:
+                    outcomes[name] = pool.search_wire(request)
+                except Exception as exc:
+                    outcomes[name] = exc
+
+            started = time.monotonic()
+            threads = [
+                threading.Thread(target=run, args=(f"ok{i}", r))
+                for i, r in enumerate(healthy)
+            ] + [threading.Thread(target=run, args=("doomed", doomed))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert isinstance(outcomes["doomed"], WorkerStalled)
+            assert "watchdog" in str(outcomes["doomed"])
+            # The slot is refilled within ~2x the stall timeout.
+            wait_until(
+                lambda: refilled(pool),
+                timeout=max(2 * stall - (time.monotonic() - started), 0.05) + 1.0,
+            )
+            for i, want in enumerate(reference):
+                got = outcomes[f"ok{i}"]
+                assert not isinstance(got, Exception), got
+                assert [p["communities"] for p in got["partitions"]] == want
+            wire = pool.pool_wire()
+            assert wire["stalled_workers"] == 1
+            assert wire["restarts"] >= 1
+            assert wire["workers"][wedged_slot]["stalled"] is False  # refilled
+            # The replacement incarnation serves the same request fine.
+            assert pool.search_wire(doomed)["partitions"]
+
+    def test_busy_loop_is_killed_and_refilled(self, engine):
+        plan = FaultPlan.parse(
+            {"kind": "busy_loop", "slot": 0, "op": "search", "after": 1}
+        )
+        with WorkerPool(
+            engine, 1, stall_timeout=0.5, fault_plan=plan
+        ) as pool:
+            with pytest.raises(WorkerStalled, match="watchdog"):
+                pool.search_wire(make_request())
+            wait_until(lambda: refilled(pool))
+            assert pool.search_wire(make_request())["partitions"]
+            assert pool.pool_wire()["stalled_workers"] == 1
+
+    def test_idle_wedge_is_caught_by_heartbeat(self, engine):
+        """A worker that wedges with an empty queue is still detected:
+        the supervisor's heartbeat ping becomes the unanswered op."""
+        plan = FaultPlan.parse(
+            {"kind": "hang", "slot": 0, "op": "ping", "after": 1}
+        )
+        with WorkerPool(
+            engine, 1, stall_timeout=0.4, fault_plan=plan
+        ) as pool:
+            # No traffic at all: the heartbeat must both trigger the
+            # wedge and detect it.
+            wait_until(
+                lambda: pool.pool_wire()["stalled_workers"] >= 1, timeout=10.0
+            )
+            wait_until(lambda: refilled(pool))
+            assert pool.search_wire(make_request())["partitions"]
+
+    def test_request_deadline_clamps_the_stall_budget(self, engine):
+        """With stall_timeout 30s, a deadline-bearing request must not
+        wait 30s for its wedged worker — the watchdog budget is clamped
+        to the deadline plus a small grace."""
+        plan = FaultPlan.parse(
+            {"kind": "hang", "slot": 0, "op": "search", "after": 1}
+        )
+        with WorkerPool(
+            engine, 1, stall_timeout=30.0, fault_plan=plan
+        ) as pool:
+            started = time.monotonic()
+            with pytest.raises(WorkerStalled):
+                pool.search_wire(make_request(deadline=0.3))
+            assert time.monotonic() - started < 5.0
+
+    def test_telemetry_stays_bounded_while_a_worker_is_wedged(self, engine):
+        plan = FaultPlan.parse(
+            {"kind": "hang", "slot": 0, "op": "search", "after": 1}
+        )
+        pool = WorkerPool(engine, 2, fault_plan=plan).start()
+        try:
+            wedger = threading.Thread(
+                target=lambda: pool.submit_op(
+                    0, "search", (make_request(), time.monotonic())
+                )
+            )
+            wedger.start()
+            wedger.join()
+            time.sleep(0.3)  # the worker is now wedged mid-op
+            started = time.monotonic()
+            tel = pool.telemetry_wire(timeout=0.5)
+            assert time.monotonic() - started < 2.0
+            assert "searches" in tel
+            health = pool.workers_wire()
+            assert health["stalled_workers"] == 0  # watchdog off: not marked
+            assert {w["worker"] for w in health["workers"]} == {0, 1}
+        finally:
+            pool.stop(timeout=0.5)

@@ -1,0 +1,198 @@
+"""Client circuit breaker: fail fast while the service is unreachable."""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import CircuitOpen, ServiceError, ServiceOverloaded
+from repro.service import ServiceClient
+
+
+class FlakyServer:
+    """Raw HTTP stub that RSTs connections until told to recover.
+
+    From the client, an RST before any response bytes is exactly what a
+    dead or partitioned service looks like: the transport error that
+    the breaker counts.
+    """
+
+    def __init__(self, healthy: bool = False) -> None:
+        self.healthy = healthy
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            if not self.healthy:
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                conn.close()
+                continue
+            body = json.dumps({"status": "ok"}).encode()
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body
+            )
+            conn.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def breaker_client(port: int, **kwargs) -> ServiceClient:
+    kwargs.setdefault("breaker_threshold", 2)
+    kwargs.setdefault("breaker_cooldown", 0.2)
+    # One transport failure per call: the stale-keep-alive replay would
+    # double-count connections in the assertions below.
+    kwargs.setdefault("retry_resets", False)
+    return ServiceClient(port=port, **kwargs)
+
+
+class TestBreakerConfig:
+    def test_disabled_by_default_never_fails_fast(self):
+        server = FlakyServer()
+        try:
+            with ServiceClient(port=server.port, retry_resets=False) as c:
+                for _ in range(4):
+                    with pytest.raises(ServiceError, match="lost|closed"):
+                        c.healthz()
+            # Every call went to the wire — no breaker in the way.
+            assert server.connections == 4
+        finally:
+            server.close()
+
+    def test_bad_config_is_typed(self):
+        with pytest.raises(ServiceError, match="breaker_threshold"):
+            ServiceClient(breaker_threshold=-1)
+        with pytest.raises(ServiceError, match="breaker_cooldown"):
+            ServiceClient(breaker_threshold=1, breaker_cooldown=0.0)
+
+
+class TestBreakerTrips:
+    def test_opens_after_threshold_and_fails_fast(self):
+        server = FlakyServer()
+        try:
+            with breaker_client(server.port, breaker_cooldown=30.0) as c:
+                for _ in range(2):
+                    with pytest.raises(ServiceError, match="lost|closed"):
+                        c.healthz()
+                with pytest.raises(CircuitOpen, match="open after 2") as info:
+                    c.healthz()
+                assert 0.0 < info.value.retry_after <= 30.0
+                # The fast-fail consumed no connection attempt.
+                assert server.connections == 2
+        finally:
+            server.close()
+
+    def test_half_open_probe_recovers(self):
+        server = FlakyServer()
+        try:
+            with breaker_client(server.port, breaker_threshold=1) as c:
+                with pytest.raises(ServiceError, match="lost|closed"):
+                    c.healthz()
+                with pytest.raises(CircuitOpen):
+                    c.healthz()
+                server.healthy = True
+                time.sleep(0.25)  # cooldown elapsed: next call is the probe
+                assert c.healthz() == {"status": "ok"}
+                # Fully closed again: subsequent calls flow normally.
+                assert c.healthz() == {"status": "ok"}
+            assert server.connections == 3
+        finally:
+            server.close()
+
+    def test_failed_probe_reopens_immediately(self):
+        server = FlakyServer()
+        try:
+            with breaker_client(server.port, breaker_threshold=1) as c:
+                with pytest.raises(ServiceError, match="lost|closed"):
+                    c.healthz()
+                time.sleep(0.25)
+                # The half-open probe fails: one failure re-opens the
+                # circuit without waiting for a fresh threshold streak.
+                with pytest.raises(ServiceError, match="lost|closed"):
+                    c.healthz()
+                with pytest.raises(CircuitOpen):
+                    c.healthz()
+            assert server.connections == 2
+        finally:
+            server.close()
+
+
+class OverloadedServer:
+    """Stub that always answers a typed 429 — alive, just shedding."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        self.port = self._sock.getsockname()[1]
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            self.requests += 1
+            body = json.dumps({"error": {
+                "type": "ServiceOverloaded",
+                "message": "server is at capacity",
+                "retry_after": 0.01,
+            }}).encode()
+            conn.sendall(
+                b"HTTP/1.1 429 Too Many Requests\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body
+            )
+            conn.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestBreakerSelectivity:
+    def test_parsed_responses_never_trip_the_breaker(self):
+        """Back-pressure is a healthy server answering: 429s must not
+        open the circuit no matter how many arrive in a row."""
+        server = OverloadedServer()
+        try:
+            with breaker_client(server.port, breaker_threshold=1) as c:
+                for _ in range(4):
+                    with pytest.raises(ServiceOverloaded):
+                        c.healthz()
+            assert server.requests == 4  # all reached the server
+        finally:
+            server.close()
