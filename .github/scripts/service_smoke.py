@@ -30,6 +30,13 @@ The end-to-end deployment path, exactly as an operator would run it:
    detect and replace the wedged worker within its budget, every
    failure must stay typed, and the brownout must enter under
    pressure and exit once the load stops.
+9. live mutation: on a fresh 2-process worker tier, POST a
+   social-edge mutation through ``/v1/admin/mutate`` — the batch must
+   reach every worker (uniform fleet fingerprint), queries after it
+   must answer identically from all workers, the mutation must be
+   appended to the snapshot's delta log beside the index, and a
+   *rebooted* server on the same snapshot must replay it
+   (``delta_seq`` survives the restart).
 
 Run from the repo root with ``PYTHONPATH=src``.
 """
@@ -53,7 +60,7 @@ from repro import MACRequest, PreferenceRegion, datasets  # noqa: E402
 from repro.errors import DeadlineExceeded, ReproError  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
 from repro.service.protocol import region_to_wire  # noqa: E402
-from repro.store import snapshot_digest  # noqa: E402
+from repro.store import read_deltas, snapshot_digest  # noqa: E402
 
 DATASET = "sf+slashdot"
 SCALE = 0.1
@@ -553,6 +560,92 @@ def main() -> int:
             out = stop_cleanly(server)
         print("stall-phase clean shutdown confirmed:")
         print(out)
+
+        # Phase 5: live mutation.  A fresh 2-process worker tier on the
+        # mmap snapshot; one social-edge mutation broadcast through the
+        # admin endpoint must reach every worker, be logged beside the
+        # snapshot, and survive a full server restart via delta replay.
+        graph = ds.network.social.graph
+        users = sorted(graph.vertices())
+        u0 = users[0]
+        u1 = next(u for u in users[1:] if not graph.has_edge(u0, u))
+        mutate_port = PORT + 4
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(pool_snapshot),
+            "--port", str(mutate_port), "--worker-processes", "2",
+        )
+        try:
+            admin = ServiceClient(port=mutate_port, timeout=120.0)
+            health = wait_healthy(admin, server)
+            assert health["snapshot"]["delta_seq"] == 0, health["snapshot"]
+
+            summary = admin.mutate(
+                [{"op": "add_social_edge", "u": u0, "v": u1}]
+            )
+            assert summary["applied"] == 1, summary
+            assert summary["delta_seq"] == 1, summary
+            assert summary["logged"] is True, summary
+            assert summary["workers"] == 2, summary
+            assert summary["applied_workers"] == 2, summary
+            assert summary["uniform"] is True, summary
+            print(f"mutation broadcast: edge ({u0}, {u1}) applied on "
+                  f"{summary['applied_workers']}/{summary['workers']} "
+                  "workers")
+
+            h = admin.healthz()
+            assert h["snapshot"]["delta_seq"] == 1, h["snapshot"]
+            fleet_fp = h["snapshot"]["fingerprint"]
+            assert fleet_fp == summary["fingerprint"], (h, summary)
+            for entry in h["workers"]["workers"]:
+                assert entry["fingerprint"] == fleet_fp, h["workers"]
+
+            # Every worker serves the same post-mutation answer.
+            answers = set()
+            for _ in range(4):
+                result = admin.search(request)
+                answers.add((
+                    result.htk_vertices,
+                    tuple(tuple(sorted(p.best)) for p in result.partitions),
+                ))
+            assert len(answers) == 1, answers
+            metrics = admin.metrics()
+            assert metrics["service"]["mutations"] == 1, metrics["service"]
+            assert metrics["service"]["deltas_logged"] == 1
+            assert metrics["engine"]["mutations"] == 2, metrics["engine"]
+            admin.close()
+        finally:
+            stop_cleanly(server)
+        print("mutation-phase clean shutdown confirmed")
+
+        records = read_deltas(pool_snapshot)
+        assert [r["seq"] for r in records] == [1], records
+        assert records[0]["mutations"] == [
+            {"op": "add_social_edge", "u": u0, "v": u1}
+        ], records
+
+        # The reboot: a fresh server on the same snapshot must replay
+        # the logged mutation before serving.
+        server = boot_server(
+            "--dataset", DATASET, "--scale", str(SCALE),
+            "--seed", str(SEED), "--snapshot", str(pool_snapshot),
+            "--port", str(PORT + 5),
+        )
+        try:
+            client = ServiceClient(port=PORT + 5, timeout=30.0)
+            health = wait_healthy(client, server)
+            assert health["snapshot"]["delta_seq"] == 1, health["snapshot"]
+            result = client.search(request)
+            replayed = (
+                result.htk_vertices,
+                tuple(tuple(sorted(p.best)) for p in result.partitions),
+            )
+            assert {replayed} == answers, (replayed, answers)
+            client.close()
+        finally:
+            stop_cleanly(server)
+        print(f"reboot replayed the delta log: delta_seq=1, edge "
+              f"({u0}, {u1}) present")
     return 0
 
 

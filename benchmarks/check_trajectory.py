@@ -15,9 +15,10 @@ Usage (what the ``bench-trajectory`` CI job runs)::
     python bench_snapshot.py --quick --output /tmp/snapshot.json
     python bench_pool.py --quick --output /tmp/pool.json
     python bench_search.py --quick --output /tmp/search.json
+    python bench_live.py --quick --output /tmp/live.json
     python check_trajectory.py --kernels /tmp/kernels.json \
         --snapshot /tmp/snapshot.json --pool /tmp/pool.json \
-        --search /tmp/search.json
+        --search /tmp/search.json --live /tmp/live.json
 """
 
 from __future__ import annotations
@@ -39,6 +40,10 @@ POOL_KEY = "pool_efficiency"
 #: The pool bench's hedged-dispatch probe reports the unhedged/hedged
 #: p99 ratio under one straggler worker; this key names that floor.
 POOL_HEDGE_KEY = "pool_hedge_tail"
+
+#: The live bench reports incremental k-core repair speedup over a full
+#: re-peel along the same toggle walk; this key names that floor.
+LIVE_KEY = "live_kcore_repair"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--search", type=Path, default=None,
         help="fresh bench_search.py --quick output (optional)",
+    )
+    parser.add_argument(
+        "--live", type=Path, default=None,
+        help="fresh bench_live.py --quick output (optional)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -94,6 +103,9 @@ def main(argv: list[str] | None = None) -> int:
         search = json.loads(args.search.read_text())
         for name, entry in search.get("search", {}).items():
             measured[name] = entry["speedup"]
+    if args.live is not None:
+        live = json.loads(args.live.read_text())
+        measured[LIVE_KEY] = live["repair_speedup"]
 
     failures = []
     print(f"== perf trajectory vs {args.baseline.name} "
@@ -111,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
             if name.startswith("search_") and args.search is None:
                 print(f"{name:24s} floor {floor:6.2f}x   skipped "
                       f"(no --search)")
+                continue
+            if name == LIVE_KEY and args.live is None:
+                print(f"{name:24s} floor {floor:6.2f}x   skipped "
+                      f"(no --live)")
                 continue
             failures.append(f"{name}: no measurement in the fresh run")
             print(f"{name:24s} floor {floor:6.2f}x   MISSING")

@@ -46,6 +46,7 @@ from repro.errors import (
     DeadlineExceeded,
     GeometryError,
     GraphError,
+    MutationError,
     QueryError,
     ReproError,
     ServiceError,
@@ -92,6 +93,7 @@ __all__ = [
     "GeometryError",
     "DatasetError",
     "SnapshotError",
+    "MutationError",
     "DeadlineExceeded",
     "ServiceError",
     "ServiceOverloaded",

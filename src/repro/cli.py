@@ -15,6 +15,11 @@ Commands
               optionally JSONL-warmed stage caches), ``index info``
               prints a snapshot's manifest, ``index verify`` checks its
               integrity (and, with ``--dataset``, its fingerprint).
+``mutate``  — apply live graph mutations from a JSONL file: a dry-run
+              validation against the regenerated dataset, or — with
+              ``--snapshot`` — replayed onto the snapshot's engine and
+              appended to its delta log (``deltas.jsonl``) so the next
+              load fast-forwards through them.
 ``serve``   — boot the JSON-over-HTTP serving API on one warm engine
               (optionally warm-started from ``--snapshot``); query it
               with ``repro.service.ServiceClient``.  With
@@ -418,6 +423,9 @@ def cmd_index_info(args: argparse.Namespace) -> int:
     counts = info["entry_counts"]
     print(f"  stage caches filter={counts['filter']} "
           f"core={counts['core']} dominance={counts['dominance']}")
+    depth = info.get("delta_depth", 0)
+    print(f"  delta log    "
+          + (f"{depth} batch(es) replayed on load" if depth else "empty"))
     for name, size in info["files"].items():
         print(f"  {name:12s} {size} bytes")
     return 0
@@ -439,6 +447,121 @@ def cmd_index_verify(args: argparse.Namespace) -> int:
           f"{detail}, fingerprint "
           + ("verified against --dataset" if info["fingerprint_checked"]
              else "not checked (pass --dataset to check)"))
+    return 0
+
+
+def _read_mutations_file(path: str) -> list[list[dict]] | None:
+    """Read a JSONL mutation file (``-`` = stdin) into wire batches.
+
+    Two line shapes are accepted, but never mixed in one file: plain
+    wire mutations (``{"op": ...}``), where the whole file forms ONE
+    atomic batch, and delta-log batch records (``{"mutations": [...]}``,
+    the ``deltas.jsonl`` layout), where each record stays its own batch.
+    On any malformed line, prints an error to stderr and returns
+    ``None`` (the caller exits 2).
+    """
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(path) as f:
+                lines = f.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return None
+    single: list[dict] = []
+    batches: list[list[dict]] = []
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"error: line {line_no}: invalid JSON: {exc}",
+                  file=sys.stderr)
+            return None
+        if not isinstance(obj, dict):
+            print(f"error: line {line_no}: expected a JSON object",
+                  file=sys.stderr)
+            return None
+        if "mutations" in obj:
+            if not isinstance(obj["mutations"], list) or not obj["mutations"]:
+                print(
+                    f"error: line {line_no}: 'mutations' must be a "
+                    f"non-empty array",
+                    file=sys.stderr,
+                )
+                return None
+            batches.append(obj["mutations"])
+        elif "op" in obj:
+            single.append(obj)
+        else:
+            print(
+                f"error: line {line_no}: expected a wire mutation "
+                f"('op' field) or a delta-log batch record "
+                f"('mutations' field)",
+                file=sys.stderr,
+            )
+            return None
+    if single and batches:
+        print(
+            "error: file mixes plain wire mutations with delta-log "
+            "batch records; use one shape throughout",
+            file=sys.stderr,
+        )
+        return None
+    if single:
+        batches = [single]
+    if not batches:
+        print("error: no mutations in input", file=sys.stderr)
+        return None
+    return batches
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    batches = _read_mutations_file(args.file)
+    if batches is None:
+        return 2
+    ds = datasets.load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        dimensions=args.dimensions,
+    )
+    if args.snapshot is not None:
+        # Loading replays the existing delta log first, so new batches
+        # append after what is already recorded.  The snapshot's base
+        # arrays are NOT re-saved: its fingerprint stays that of the
+        # pristine dataset and every load replays the same history.
+        from repro.store.snapshot import append_delta
+
+        engine = MACEngine.load(args.snapshot, ds.network)
+        target = f"snapshot {args.snapshot}"
+    else:
+        engine = MACEngine(ds.network)
+        target = "dry run (pass --snapshot to persist to its delta log)"
+    applied = 0
+    evicted = 0
+    by_kind: dict[str, int] = {}
+    last_seq = None
+    for batch in batches:
+        summary = engine.apply(batch)
+        applied += summary["applied"]
+        evicted += summary["evicted"]
+        for kind, count in summary["by_kind"].items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        if args.snapshot is not None:
+            last_seq = append_delta(args.snapshot, batch)
+    print(f"applied {applied} mutation(s) in {len(batches)} batch(es) "
+          f"to {target}")
+    print("  by kind      "
+          + ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items())))
+    print(f"  cache        {evicted} entr(ies) evicted")
+    net = engine.network
+    print(f"  network      social |V|={len(net.social.graph)} "
+          f"|E|={net.social.graph.num_edges}")
+    if last_seq is not None:
+        print(f"  delta log    depth {last_seq} "
+              f"(replayed on every snapshot load)")
     return 0
 
 
@@ -667,6 +790,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool width for independent requests (default 4)",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_mutate = sub.add_parser(
+        "mutate",
+        help="apply live graph mutations from a JSONL file",
+    )
+    _add_dataset_args(p_mutate)
+    p_mutate.add_argument(
+        "--dimensions", type=int, default=DEFAULT_DIMENSIONS
+    )
+    p_mutate.add_argument(
+        "--file", required=True, metavar="JSONL",
+        help="mutation file, or '-' for stdin: wire mutations one per "
+             "line (the whole file applied as one atomic batch), or "
+             "delta-log batch records (a snapshot's deltas.jsonl, one "
+             "batch per record)",
+    )
+    p_mutate.add_argument(
+        "--snapshot", default=None, metavar="DIR",
+        help="replay onto this snapshot's engine and append the batches "
+             "to its delta log, so every later load (and `repro serve "
+             "--snapshot`) fast-forwards through them; without it the "
+             "file is validated and applied as a dry run against the "
+             "regenerated dataset",
+    )
+    p_mutate.set_defaults(func=cmd_mutate)
 
     p_index = sub.add_parser(
         "index", help="build / inspect / verify persistent index snapshots"

@@ -290,6 +290,9 @@ class DominanceGraph:
     def num_vertices(self) -> int:
         return len(self._ids)
 
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._attrs
+
     def vertices(self) -> list[Vertex]:
         return list(self._ids)
 

@@ -115,6 +115,23 @@ class LRUCache:
             event.set()
             return value, False
 
+    def evict_if(self, pred: Callable[[Hashable, Any], bool]) -> int:
+        """Drop every entry for which ``pred(key, value)`` is true.
+
+        The dirty-region invalidation hook of :mod:`repro.live`: a
+        mutation computes its touched footprint and evicts only the
+        entries that intersect it, leaving disjoint hot entries warm.
+        Returns the number of entries evicted.  ``pred`` runs under the
+        cache lock, so it must be cheap and must not re-enter the cache.
+        """
+        with self._lock:
+            doomed = [
+                key for key, value in self._data.items() if pred(key, value)
+            ]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
     # ------------------------------------------------------------------
     def items(self) -> list[tuple[Hashable, Any]]:
         """Snapshot of ``(key, value)`` pairs, oldest first (no counters).

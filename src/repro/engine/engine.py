@@ -45,9 +45,28 @@ from repro.graph.core import core_decomposition
 from repro.kernels import (
     FlatGraph,
     core_numbers,
+    delete_edge_rows,
+    insert_edge_rows,
     k_core_component,
+    repair_delete_rows,
+    repair_insert_rows,
     resolve_backend,
     search_flatgraph,
+)
+from repro.live.invalidate import (
+    RepairDelta,
+    attribute_dirty,
+    edge_dirty_delete,
+    edge_dirty_insert,
+)
+from repro.live.kcore import repair_delete, repair_insert
+from repro.live.mutations import (
+    AddSocialEdge,
+    MoveUser,
+    RemoveSocialEdge,
+    UpdateAttributes,
+    normalize_batch,
+    validate_batch,
 )
 from repro.social.roadsocial import (
     KTCore,
@@ -110,7 +129,10 @@ class EngineTelemetry:
     requests aborted by their :class:`~repro.errors.DeadlineExceeded`
     budget (the serving metric that distinguishes "slow" from "hung");
     ``partial_results`` counts anytime requests that degraded to a
-    best-so-far ``partial=True`` answer instead.
+    best-so-far ``partial=True`` answer instead.  ``mutations`` (total
+    and per-kind) and ``cache_evicted_by_mutation`` account the live
+    update path of :meth:`MACEngine.apply` — the eviction counter is
+    how footprint-scoped invalidation is made observable.
     """
 
     searches: int
@@ -122,6 +144,9 @@ class EngineTelemetry:
     stage_seconds: dict = field(default_factory=dict)
     deadline_exceeded: int = 0
     partial_results: int = 0
+    mutations: int = 0
+    mutations_by_kind: dict = field(default_factory=dict)
+    cache_evicted_by_mutation: int = 0
 
     @property
     def hits(self) -> int:
@@ -148,6 +173,8 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
     (the fleet-wide number of cacheable entries).
     """
     searches = batches = deadline_exceeded = partial_results = 0
+    mutations = cache_evicted_by_mutation = 0
+    mutations_by_kind: dict = {}
     cache_sums = {
         name: [0, 0, 0, 0]
         for name in ("filter", "core", "dominance", "result")
@@ -158,6 +185,10 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
         batches += tel.batches
         deadline_exceeded += tel.deadline_exceeded
         partial_results += tel.partial_results
+        mutations += tel.mutations
+        cache_evicted_by_mutation += tel.cache_evicted_by_mutation
+        for kind, n in tel.mutations_by_kind.items():
+            mutations_by_kind[kind] = mutations_by_kind.get(kind, 0) + n
         for name, sums in cache_sums.items():
             stats = getattr(tel, name)
             sums[0] += stats.hits
@@ -178,6 +209,9 @@ def merge_telemetry(snapshots: Iterable[EngineTelemetry]) -> EngineTelemetry:
         stage_seconds=stage_seconds,
         deadline_exceeded=deadline_exceeded,
         partial_results=partial_results,
+        mutations=mutations,
+        mutations_by_kind=mutations_by_kind,
+        cache_evicted_by_mutation=cache_evicted_by_mutation,
         **merged_caches,
     )
 
@@ -243,9 +277,10 @@ class MACEngine:
     Parameters
     ----------
     network:
-        The substrate all requests run against.  The engine assumes the
-        network is not mutated while the engine is alive (caches are
-        keyed on query parameters only).
+        The substrate all requests run against.  The network must only
+        be mutated through :meth:`apply`, which repairs or evicts the
+        affected cached state; out-of-band mutation leaves the caches
+        silently stale.
     use_gtree:
         Default Lemma-1 strategy for requests that leave
         ``MACRequest.use_gtree`` as ``None``: ``True`` / ``False`` force
@@ -309,10 +344,15 @@ class MACEngine:
             LRUCache(result_cache_size) if result_cache_size > 0 else None
         )
         self._counter_lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
         self._searches = 0
         self._batches = 0
         self._deadline_exceeded = 0
         self._partial_results = 0
+        self._mutations = 0
+        self._mutations_by_kind: dict[str, int] = {}
+        self._cache_evicted_by_mutation = 0
+        self._delta_seq = 0
         self._stage_seconds = {stage: 0.0 for stage in STAGES}
         if eager:
             self.prepare()
@@ -383,6 +423,9 @@ class MACEngine:
             searches, batches = self._searches, self._batches
             deadline_exceeded = self._deadline_exceeded
             partial_results = self._partial_results
+            mutations = self._mutations
+            mutations_by_kind = dict(self._mutations_by_kind)
+            cache_evicted_by_mutation = self._cache_evicted_by_mutation
             stage_seconds = dict(self._stage_seconds)
         disabled = CacheStats(hits=0, misses=0, size=0, capacity=0)
         return EngineTelemetry(
@@ -399,6 +442,9 @@ class MACEngine:
             stage_seconds=stage_seconds,
             deadline_exceeded=deadline_exceeded,
             partial_results=partial_results,
+            mutations=mutations,
+            mutations_by_kind=mutations_by_kind,
+            cache_evicted_by_mutation=cache_evicted_by_mutation,
         )
 
     def reset_telemetry(self) -> None:
@@ -414,6 +460,12 @@ class MACEngine:
             self._batches = 0
             self._deadline_exceeded = 0
             self._partial_results = 0
+            self._mutations = 0
+            self._mutations_by_kind = {}
+            self._cache_evicted_by_mutation = 0
+            # _delta_seq is state, not telemetry: it tracks how far this
+            # engine has advanced past its snapshot and must survive the
+            # per-worker counter reset at fork time.
             self._stage_seconds = {stage: 0.0 for stage in STAGES}
         for cache in (
             self._filter_cache,
@@ -428,6 +480,257 @@ class MACEngine:
         with self._counter_lock:
             for stage, seconds in times.items():
                 self._stage_seconds[stage] += seconds
+
+    # ------------------------------------------------------------------
+    # live mutations
+    # ------------------------------------------------------------------
+    @property
+    def delta_seq(self) -> int:
+        """Mutation batches applied since construction (or snapshot load).
+
+        A snapshot-loaded engine fast-forwards through the snapshot's
+        delta log, so ``delta_seq`` equals the highest replayed sequence
+        number — the "delta depth" surfaced by ``repro index info`` and
+        ``/v1/healthz``.
+        """
+        with self._counter_lock:
+            return self._delta_seq
+
+    def apply(self, mutations) -> dict:
+        """Apply a batch of live mutations to the network and caches.
+
+        ``mutations`` is an iterable of :mod:`repro.live` mutation
+        objects and/or their wire dicts.  The whole batch is validated
+        first (:class:`~repro.errors.MutationError` rejects it leaving
+        everything untouched — batches are all-or-nothing), then applied
+        in order:
+
+        * social edge inserts/deletes mutate the network, then *repair*
+          every warm (Q, t) filter entry containing both endpoints —
+          bounded incremental k-core maintenance on the entry's own
+          representation (flat CSR kernels or the python reference)
+          instead of a full re-peel — and evict only the downstream
+          (k,t)-core / dominance / result entries whose member sets the
+          edge can actually have changed (:mod:`repro.live.invalidate`);
+        * attribute updates evict exactly the entries whose member sets
+          contain the user;
+        * ``move_user`` / ``update_road_weight`` change query distances,
+          whose footprint cached state cannot bound, so they evict
+          globally (road-weight updates also drop the G-tree; the road
+          CSR weight array is patched in place).
+
+        Repair is copy-on-write: in-flight queries holding a cached
+        entry keep a consistent pre-mutation view (they serialize as if
+        ordered before the batch), while every later query sees the
+        repaired state.  Returns a summary dict with ``applied``,
+        ``by_kind``, ``evicted``, ``repaired_entries`` and the new
+        ``delta_seq``.
+        """
+        batch = normalize_batch(mutations)
+        with self._mutate_lock:
+            validate_batch(self.network, batch)
+            evicted = repaired = 0
+            by_kind: dict[str, int] = {}
+            for m in batch:
+                entry_evicted, entry_repaired = self._apply_one(m)
+                evicted += entry_evicted
+                repaired += entry_repaired
+                by_kind[m.kind] = by_kind.get(m.kind, 0) + 1
+            with self._counter_lock:
+                self._mutations += len(batch)
+                for kind, n in by_kind.items():
+                    self._mutations_by_kind[kind] = (
+                        self._mutations_by_kind.get(kind, 0) + n
+                    )
+                self._cache_evicted_by_mutation += evicted
+                self._delta_seq += 1
+                seq = self._delta_seq
+        return {
+            "applied": len(batch),
+            "by_kind": by_kind,
+            "evicted": evicted,
+            "repaired_entries": repaired,
+            "delta_seq": seq,
+        }
+
+    def _apply_one(self, m) -> tuple[int, int]:
+        """Apply one validated mutation; returns (evicted, repaired)."""
+        if isinstance(m, (AddSocialEdge, RemoveSocialEdge)):
+            return self._apply_social_edge(
+                m.u, m.v, inserted=isinstance(m, AddSocialEdge)
+            )
+        if isinstance(m, UpdateAttributes):
+            self.network.social.set_attributes(m.user, m.attributes)
+            return self._evict_for_attributes(m.user), 0
+        if isinstance(m, MoveUser):
+            self.network.social.set_location(m.user, m.point)
+            return self._evict_all(), 0
+        # UpdateRoadWeight: the road CSR is weight-patched in place by
+        # add_edge; the G-tree's distance matrices cannot be and must go.
+        self.network.road.add_edge(m.u, m.v, m.weight)
+        self.network.drop_gtree()
+        return self._evict_all(), 0
+
+    def _evict_all(self) -> int:
+        """Global eviction: query distances changed, no bound on the blast."""
+        n = 0
+        for cache in (
+            self._filter_cache,
+            self._core_cache,
+            self._gd_cache,
+            self._result_cache,
+        ):
+            if cache is not None:
+                n += cache.evict_if(lambda _key, _value: True)
+        return n
+
+    def _evict_for_attributes(self, user: int) -> int:
+        """Evict exactly the entries whose member sets contain ``user``."""
+        evicted = 0
+        kept_cores: set = set()
+
+        def core_pred(key, state) -> bool:
+            members = None if state.core is None else state.core.graph
+            if attribute_dirty(members, user):
+                return True
+            kept_cores.add(key)
+            return False
+
+        evicted += self._core_cache.evict_if(core_pred)
+        evicted += self._gd_cache.evict_if(
+            lambda _key, gd: attribute_dirty(gd, user)
+        )
+        if self._result_cache is not None:
+            filter_entries = dict(self._filter_cache.items())
+
+            def result_pred(key, _value) -> bool:
+                backend = self._resolve_backend_selector(
+                    key[8] if key[8] is not None else self._default_backend
+                )
+                if (key[0], key[1], key[2], backend) in kept_cores:
+                    return False  # surviving core entry: user not a member
+                prep = filter_entries.get((key[0], key[2], backend))
+                if prep is not None:
+                    # No member set to consult, but the (Q, t) filter
+                    # bounds it: a user outside the range filter cannot
+                    # be in any community under it.
+                    return user in prep.query_distance
+                return True
+
+            evicted += self._result_cache.evict_if(result_pred)
+        return evicted
+
+    def _apply_social_edge(self, u: int, v: int, inserted: bool) -> tuple[int, int]:
+        """Mutate the social graph, repair warm filters, evict by footprint."""
+        graph = self.network.social.graph
+        if inserted:
+            graph.add_edge(u, v)
+        else:
+            graph.remove_edge(u, v)
+        deltas: dict[tuple, RepairDelta] = {}
+        warm: set[tuple] = set()
+        repaired = 0
+        for fkey, prep in self._filter_cache.items():
+            warm.add(fkey)
+            if u in prep.query_distance and v in prep.query_distance:
+                new_prep, changed = self._repaired_filter_entry(
+                    prep, u, v, inserted
+                )
+                self._filter_cache.put(fkey, new_prep)
+                deltas[fkey] = RepairDelta(
+                    changed=changed, coreness=new_prep.coreness
+                )
+                repaired += 1
+        evicted = 0
+        kept_cores: set = set()
+
+        def dirty(fkey: tuple, k: int, members) -> bool:
+            delta = deltas.get(fkey)
+            if delta is None and fkey in warm:
+                # Warm filter entry without both endpoints: the edge is
+                # outside this filtered subgraph entirely.
+                return False
+            if inserted:
+                return edge_dirty_insert(k, members, delta, u, v)
+            return edge_dirty_delete(members, u, v)
+
+        def core_pred(key, state) -> bool:
+            members = None if state.core is None else state.core.graph
+            if dirty((key[0], key[2], key[3]), key[1], members):
+                return True
+            kept_cores.add(key)
+            return False
+
+        evicted += self._core_cache.evict_if(core_pred)
+        evicted += self._gd_cache.evict_if(
+            lambda key, gd: dirty((key[0], key[2], key[4]), key[1], gd)
+        )
+        if self._result_cache is not None:
+
+            def result_pred(key, _value) -> bool:
+                backend = self._resolve_backend_selector(
+                    key[8] if key[8] is not None else self._default_backend
+                )
+                if (key[0], key[1], key[2], backend) in kept_cores:
+                    return False  # its (k,t)-core entry was proven clean
+                if (key[0], key[2], backend) in warm and (
+                    (key[0], key[2], backend) not in deltas
+                ):
+                    return False  # edge outside the entry's filtered graph
+                return True
+
+            evicted += self._result_cache.evict_if(result_pred)
+        return evicted, repaired
+
+    def _repaired_filter_entry(
+        self, prep: _PreparedFilter, u: int, v: int, inserted: bool
+    ) -> tuple[_PreparedFilter, dict]:
+        """Copy-on-write repair of one warm (Q, t) entry after an edge op.
+
+        The cached entry is never mutated in place — queries already
+        holding it keep a consistent pre-mutation view; the repaired
+        copy replaces it in the cache.  The entry's own representation
+        is the backend seam: flat entries splice the CSR and run the
+        row kernels of :mod:`repro.kernels.livecore`, python entries the
+        dict reference of :mod:`repro.live.kcore`.
+        """
+        filtered = prep.filtered.copy()
+        if inserted:
+            filtered.add_edge(u, v)
+        else:
+            filtered.remove_edge(u, v)
+        coreness = dict(prep.coreness)
+        if prep.flat is not None:
+            ru, rv = prep.flat.row_of(u), prep.flat.row_of(v)
+            if inserted:
+                flat = insert_edge_rows(prep.flat, ru, rv)
+                core_rows, changed_rows = repair_insert_rows(
+                    flat, prep.core_rows.copy(), ru, rv
+                )
+            else:
+                flat = delete_edge_rows(prep.flat, ru, rv)
+                core_rows, changed_rows = repair_delete_rows(
+                    flat, prep.core_rows.copy(), ru, rv
+                )
+            changed = {}
+            for row in changed_rows.tolist():
+                vid = flat.ids[row]
+                coreness[vid] = changed[vid] = int(core_rows[row])
+        else:
+            flat = core_rows = None
+            if inserted:
+                changed = repair_insert(filtered, coreness, u, v)
+            else:
+                changed = repair_delete(filtered, coreness, u, v)
+        new_prep = _PreparedFilter(
+            query_distance=prep.query_distance,
+            filtered=filtered,
+            coreness=coreness,
+            max_coreness=max(coreness.values(), default=0),
+            flat=flat,
+            core_rows=core_rows,
+        )
+        return new_prep, changed
 
     # ------------------------------------------------------------------
     # the staged, cached pipeline

@@ -30,6 +30,21 @@ class SnapshotError(ReproError):
     """An index snapshot is missing, corrupted, stale, or incompatible."""
 
 
+class MutationError(ReproError):
+    """A live graph mutation is invalid against the current network state.
+
+    Raised by :mod:`repro.live` (and surfaced by the service as HTTP
+    400) when a mutation batch fails validation — an edge insert whose
+    endpoints are unknown or whose edge already exists, a delete of a
+    missing edge, an attribute vector of the wrong dimensionality, a
+    negative road weight, and so on.  Validation runs against the whole
+    batch before anything is applied, so a rejected batch leaves the
+    network, the engine caches, and the delta log untouched — mutation
+    batches are all-or-nothing, which keeps delta-log replay
+    deterministic.
+    """
+
+
 class DeadlineExceeded(ReproError):
     """A request ran past its wall-clock deadline and was aborted.
 

@@ -20,6 +20,12 @@ from repro.kernels.core import (
     k_core_mask,
 )
 from repro.kernels.flatgraph import FlatGraph
+from repro.kernels.livecore import (
+    delete_edge_rows,
+    insert_edge_rows,
+    repair_delete_rows,
+    repair_insert_rows,
+)
 from repro.kernels.paths import (
     all_pairs_minplus,
     bounded_dijkstra_rows,
@@ -46,12 +52,16 @@ __all__ = [
     "component_labels",
     "component_mask",
     "core_numbers",
+    "delete_edge_rows",
     "deletion_chain_rows",
     "dense_weight_matrix",
+    "insert_edge_rows",
     "k_core_component",
     "k_core_containing_rows",
     "k_core_mask",
     "masked_dijkstra_rows",
+    "repair_delete_rows",
+    "repair_insert_rows",
     "restrict_rows",
     "restrict_rows_incremental",
     "resolve_backend",

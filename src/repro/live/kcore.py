@@ -1,0 +1,118 @@
+"""Bounded incremental k-core maintenance (python reference).
+
+When an edge ``(u, v)`` is inserted into or deleted from a graph, the
+classic traversal-based maintenance results (Li, Yu & Mao, TKDE'14;
+Sariyüce et al., PVLDB'13) localize the damage: only vertices of
+coreness exactly ``r = min(core(u), core(v))`` can change, and any
+change is exactly ±1.  Repairing after a mutation therefore costs a
+traversal of the (usually tiny) affected region instead of an O(m)
+Batagelj–Zaversnik re-peel, the asymmetry ``benchmarks/bench_live.py``
+measures.  Two prunings keep the region small even when the level-``r``
+subcore is most of the graph (low modal coreness):
+
+* **insert** explores the *purecore*: a vertex can rise only if it has
+  more than ``r`` neighbors of coreness ``>= r``, and risers form a
+  connected chain of such vertices back to an inserted endpoint — so
+  the traversal expands only through vertices passing that degree test.
+* **delete** needs no candidate region at all: support (neighbors of
+  current coreness ``>= r``) is locally computable, so the drop cascade
+  starts at the endpoints and touches only vertices that actually fall
+  plus their immediate frontier.
+
+Both functions mutate the ``coreness`` dict in place and return the
+``{vertex: new_coreness}`` delta.  The CSR-row twins with identical
+semantics live in :mod:`repro.kernels.livecore`; the randomized suite in
+``tests/live`` pits both against full re-decompositions.
+"""
+
+from __future__ import annotations
+
+
+def _insert_candidates(graph, coreness: dict, roots: list, r: int) -> set:
+    """Vertices that could rise past ``r`` after an insert at ``roots``.
+
+    BFS over coreness-``r`` vertices, expanding only through vertices
+    with more than ``r`` neighbors of coreness ``>= r``: anything with
+    fewer can never collect the ``r + 1`` supporters a rise needs, so it
+    stays at ``r`` and screens everything behind it.
+    """
+    seen = set(roots)
+    stack = list(roots)
+    while stack:
+        w = stack.pop()
+        mcd = sum(1 for n in graph.neighbors(w) if coreness[n] >= r)
+        if mcd <= r:
+            continue
+        for n in graph.neighbors(w):
+            if n not in seen and coreness[n] == r:
+                seen.add(n)
+                stack.append(n)
+    return seen
+
+
+def repair_insert(graph, coreness: dict, u, v) -> dict:
+    """Repair ``coreness`` after edge ``(u, v)`` was added to ``graph``.
+
+    ``graph`` must already contain the new edge.  A candidate survives
+    at level ``r + 1`` iff the cascade leaves it with more than ``r``
+    supporters — neighbors of coreness ``> r`` plus still-alive
+    candidates; survivors rise by exactly one.
+    """
+    r = min(coreness[u], coreness[v])
+    roots = [w for w in (u, v) if coreness[w] == r]
+    cand = _insert_candidates(graph, coreness, roots, r)
+    alive = set(cand)
+    supp = {
+        w: sum(1 for n in graph.neighbors(w) if coreness[n] > r or n in alive)
+        for w in cand
+    }
+    stack = [w for w in cand if supp[w] <= r]
+    while stack:
+        w = stack.pop()
+        if w not in alive:
+            continue
+        alive.discard(w)
+        for n in graph.neighbors(w):
+            if n in alive:
+                supp[n] -= 1
+                if supp[n] <= r:
+                    stack.append(n)
+    changed = {}
+    for w in alive:
+        coreness[w] = r + 1
+        changed[w] = r + 1
+    return changed
+
+
+def repair_delete(graph, coreness: dict, u, v) -> dict:
+    """Repair ``coreness`` after edge ``(u, v)`` was removed from ``graph``.
+
+    ``graph`` must no longer contain the edge.  Support is computed
+    lazily against the *current* coreness (already-dropped neighbors
+    count as ``r - 1``), so the cascade never leaves the damaged region:
+    a vertex drops by exactly one as soon as it has fewer than ``r``
+    neighbors of coreness ``>= r``.
+    """
+    r = min(coreness[u], coreness[v])
+    supp: dict = {}
+    changed = {}
+    stack = [w for w in (u, v) if coreness[w] == r]
+    while stack:
+        w = stack.pop()
+        if coreness[w] < r:
+            continue
+        if w not in supp:
+            supp[w] = sum(1 for n in graph.neighbors(w) if coreness[n] >= r)
+        if supp[w] >= r:
+            continue
+        coreness[w] = r - 1
+        changed[w] = r - 1
+        for n in graph.neighbors(w):
+            if coreness[n] == r:
+                if n in supp:
+                    supp[n] -= 1
+                    if supp[n] < r:
+                        stack.append(n)
+                else:
+                    stack.append(n)
+    return changed

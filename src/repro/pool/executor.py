@@ -85,6 +85,11 @@ class PoolExecutor:
     def resize(self, num_workers: int) -> dict:
         return self.pool.resize(num_workers)
 
+    def mutate_wire(self, mutations: list) -> dict:
+        """Apply a live mutation batch fleet-wide (parent first, then
+        broadcast; see :meth:`WorkerPool.mutate_wire`)."""
+        return self.pool.mutate_wire(mutations)
+
     def close(self, timeout: float | None = None) -> None:
         if timeout is None:
             self.pool.stop()

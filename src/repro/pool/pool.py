@@ -52,6 +52,18 @@ fails validation is rolled back with a typed
 :meth:`resize` grows or shrinks the fleet the same way, draining
 retired slots.  Both are exercised under deterministic chaos via
 :class:`~repro.pool.faults.FaultPlan`.
+
+**Live mutations.**  :meth:`mutate_wire` applies one
+:mod:`repro.live` batch fleet-wide without a swap: the parent engine
+is mutated first (so validation failures touch nothing and every
+future respawn forks consistent state), then the batch is broadcast to
+every live worker over the same FIFO pipes as queries — a worker
+serves every query it received before the batch against pre-mutation
+state and everything after against post-mutation state, so answers are
+always internally consistent.  Each worker proves convergence by
+returning its recomputed network fingerprint; a worker that failed the
+batch or diverged is killed and respawned from the mutated parent
+rather than ever serving stale answers.
 """
 
 from __future__ import annotations
@@ -236,7 +248,14 @@ class WorkerPool:
         self._generation = 0
         self._active: dict | None = None  # reported identity; flips post-drain
         self._lock = threading.Lock()
-        self._admin_lock = threading.Lock()  # serializes swap/resize
+        self._admin_lock = threading.Lock()  # serializes swap/resize/mutate
+        # Forking a worker while a live mutation is rewriting the parent
+        # engine in place would copy a torn half-applied state into the
+        # child; this lock makes fork and in-place apply mutually
+        # exclusive (held across Process.start() and across the parent
+        # apply in mutate_wire).
+        self._fork_lock = threading.Lock()
+        self._mutations = 0
         self._workers: list[_Worker | None] = [None] * num_workers
         self._retiring: set[_Worker] = set()
         self._req_ids = itertools.count(1)
@@ -288,6 +307,7 @@ class WorkerPool:
                 "generation": 0,
                 "source": self._source,
                 "index_digest": self._index_digest,
+                "delta_seq": getattr(self._engine, "delta_seq", 0),
             }
         return dict(self._active)
 
@@ -312,6 +332,7 @@ class WorkerPool:
             "generation": 0,
             "source": self._source,
             "index_digest": self._index_digest,
+            "delta_seq": getattr(self._engine, "delta_seq", 0),
         }
         self._supervisor = threading.Thread(
             target=self._supervise, name="mac-pool-supervisor", daemon=True
@@ -324,12 +345,13 @@ class WorkerPool:
     ) -> _Worker:
         """Fork one worker process; the caller decides where it lives."""
         parent_conn, child_conn = self._ctx.Pipe()
-        with warnings.catch_warnings():
+        with self._fork_lock, warnings.catch_warnings():
             # Python 3.12+ warns on fork() from a multi-threaded
             # process.  Safe here by construction: the child touches
             # only the pre-fork engine — whose locks the parent is not
-            # holding, because the parent never searches in pool mode —
-            # and its own pipe end.
+            # holding, because the parent never searches in pool mode
+            # (and ``_fork_lock`` keeps a live mutation from rewriting
+            # it mid-fork) — and its own pipe end.
             warnings.simplefilter("ignore", DeprecationWarning)
             process = self._ctx.Process(
                 target=worker_main,
@@ -526,6 +548,7 @@ class WorkerPool:
             "generation": generation,
             "source": source,
             "index_digest": index_digest,
+            "delta_seq": getattr(engine, "delta_seq", 0),
         }
         return {
             "generation": generation,
@@ -621,6 +644,98 @@ class WorkerPool:
             "retired": max(0, old_n - num_workers),
             "drained": drain["drained"],
             "terminated": drain["terminated"],
+            "elapsed_s": round(time.monotonic() - started, 3),
+        }
+
+    def mutate_wire(self, mutations: list) -> dict:
+        """Apply one live mutation batch to the whole fleet.
+
+        The batch hits the *parent* engine first — validation failures
+        (typed :class:`~repro.errors.MutationError`) happen there,
+        before any worker sees the batch, so a rejected batch leaves
+        the fleet untouched and future respawns fork consistent state.
+        On success the batch is broadcast to every live worker; each
+        reply carries the worker's recomputed network fingerprint, and
+        any worker that failed the batch or landed on different content
+        is SIGKILLed — the supervisor refills its slot by forking the
+        already-mutated parent, so divergence is never served.  No
+        generation bump: the fleet stays on its snapshot generation,
+        with the reported identity's ``fingerprint``/``delta_seq``
+        advanced in one atomic flip.
+        """
+        if not self._started:
+            raise ReloadError("cannot mutate: the worker pool is not started")
+        if not self._admin_lock.acquire(blocking=False):
+            raise ReloadError(
+                "another admin operation (swap, resize, or mutate) is in "
+                "progress; retry when it completes"
+            )
+        try:
+            return self._mutate_locked(mutations)
+        finally:
+            self._admin_lock.release()
+
+    def _mutate_locked(self, mutations: list) -> dict:
+        started = time.monotonic()
+        if self._stopping.is_set():
+            raise ReloadError("cannot mutate: the worker pool is stopping")
+        with self._fork_lock:
+            # Parent first, and atomically with respect to respawn
+            # forks: a child must never copy a half-applied engine.
+            summary = self._engine.apply(mutations)
+        fingerprint = network_fingerprint(self._engine.network)
+        with self._lock:
+            self._engine_fp = fingerprint
+            self._mutations += 1
+            workers = [
+                w
+                for w in self._workers
+                if w is not None and w.alive and not w.retired and not w.stalled
+            ]
+        futures: dict[_Worker, Future] = {}
+        for worker in workers:
+            try:
+                futures[worker] = self._submit(worker, "mutate", mutations)
+            except _PipeDied:
+                continue
+        divergent: list[_Worker] = []
+        applied_workers = 0
+        deadline = time.monotonic() + self.start_timeout
+        for worker, future in futures.items():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                reply = future.result(timeout=remaining)
+            except Exception:
+                # Typed apply failure, crash, or a wedged pipe: this
+                # worker's state can no longer be trusted to match.
+                divergent.append(worker)
+                continue
+            if reply.get("fingerprint") != fingerprint:
+                divergent.append(worker)
+                continue
+            applied_workers += 1
+            with self._lock:
+                # Keep the per-worker identity in /v1/healthz honest:
+                # this worker now serves the mutated content.
+                worker.info["fingerprint"] = fingerprint
+        for worker in divergent:
+            # SIGKILL, never serve from divergence: the sentinel path
+            # fails its in-flight requests typed and the supervisor
+            # refills the slot from the mutated parent engine.
+            if worker.alive and worker.process.is_alive():
+                worker.process.kill()
+        if self._active is not None:
+            active = dict(self._active)
+            active["fingerprint"] = fingerprint
+            active["delta_seq"] = summary["delta_seq"]
+            self._active = active
+        return {
+            **summary,
+            "fingerprint": fingerprint,
+            "workers": len(workers),
+            "applied_workers": applied_workers,
+            "respawned": len(divergent),
+            "uniform": not divergent,
             "elapsed_s": round(time.monotonic() - started, 3),
         }
 
@@ -1269,6 +1384,7 @@ class WorkerPool:
                 "generation": self._generation,
                 "draining": len(self._retiring),
                 "crashed_requests": self._crashed_requests,
+                "mutations": self._mutations,
                 "stall_timeout": self.stall_timeout,
                 "stalled_workers": self._stalled_workers,
                 "hedge_after": self.hedge_after,

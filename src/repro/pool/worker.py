@@ -37,6 +37,7 @@ from repro.service.protocol import (
     result_to_wire,
     telemetry_to_wire,
 )
+from repro.store.fingerprint import network_fingerprint
 
 
 def _charged_search(engine, request, submitted_at: float):
@@ -73,6 +74,15 @@ def _handle(worker_id: int, engine, op: str, payload):
         return plan_to_wire(engine.explain(payload))
     if op == "telemetry":
         return telemetry_to_wire(engine.telemetry())
+    if op == "mutate":
+        # A live-mutation broadcast: apply the batch to this worker's
+        # engine copy and prove the outcome by recomputing the network
+        # fingerprint — the dispatcher asserts every worker (and the
+        # parent) landed on the same content, and kills any that
+        # diverged instead of serving from it.
+        summary = engine.apply(payload)
+        summary["fingerprint"] = network_fingerprint(engine.network)
+        return summary
     if op == "ping":
         return {"worker": worker_id, "pid": os.getpid()}
     if op == "sleep":

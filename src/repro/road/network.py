@@ -129,18 +129,42 @@ class RoadNetwork:
         b = self._adj.setdefault(v, {})
         if v not in a:
             self._num_edges += 1
+            self._flat = None
+        elif self._flat is not None:
+            # Weight-only update: the row structure of the CSR view is
+            # still valid, so patch the weight entries in place instead
+            # of dropping the whole cached conversion.
+            self._patch_flat_weight(u, v, float(weight))
         a[v] = float(weight)
         b[u] = float(weight)
-        self._flat = None
+
+    def _patch_flat_weight(self, u: int, v: int, weight: float) -> None:
+        fg = self._flat
+        ru, rv = fg.row_of(u), fg.row_of(v)
+        weights = fg.weights
+        if not weights.flags.writeable:
+            # Snapshot-restored CSRs may be read-only memory maps;
+            # copy-on-write instead of touching the shared mapping.
+            weights = weights.copy()
+            fg.weights = weights
+        s, e = fg.indptr[ru], fg.indptr[ru + 1]
+        weights[s:e][fg.indices[s:e] == rv] = weight
+        s, e = fg.indptr[rv], fg.indptr[rv + 1]
+        weights[s:e][fg.indices[s:e] == ru] = weight
+        # Derived per-vertex views embed weights; rebuild them lazily.
+        fg._lists = None
+        fg._pairs = None
 
     def flat(self):
         """Cached CSR view (:class:`repro.kernels.FlatGraph`) of the network.
 
-        Built on first use and invalidated by any mutation; shared by
-        every flat-backend shortest-path call so the conversion cost is
-        paid once per network, not per query.  Concurrent first calls
-        may race to build — both produce identical snapshots, so the
-        benign race only wastes one build.
+        Built on first use and invalidated by topology mutations (a
+        weight-only :meth:`add_edge` on an existing edge patches the
+        cached weight array in place instead); shared by every
+        flat-backend shortest-path call so the conversion cost is paid
+        once per network, not per query.  Concurrent first calls may
+        race to build — both produce identical snapshots, so the benign
+        race only wastes one build.
         """
         if self._flat is None:
             from repro.kernels.flatgraph import FlatGraph

@@ -392,5 +392,24 @@ class ServiceClient:
         result = self._call("POST", "/v1/admin/resize", {"workers": workers})
         return result.get("resize", {})
 
+    def mutate(self, mutations) -> dict:
+        """Apply one live mutation batch fleet-wide.
+
+        ``mutations`` is a :mod:`repro.live` batch — typed mutation
+        objects or their wire dicts — normalized client-side so a
+        malformed mutation fails here as a typed
+        :class:`~repro.errors.MutationError` before any network round
+        trip.  Server-side rejection comes back as the same typed error
+        (HTTP 400, nothing applied); a mutation racing another admin
+        operation raises :class:`~repro.errors.ReloadError` (409).
+        Returns the apply summary (``applied``/``by_kind``/``evicted``/
+        ``delta_seq``/``logged``).
+        """
+        from repro.live.mutations import mutation_to_wire, normalize_batch
+
+        wire = [mutation_to_wire(m) for m in normalize_batch(mutations)]
+        result = self._call("POST", "/v1/admin/mutate", {"mutations": wire})
+        return result.get("mutate", {})
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ServiceClient(http://{self.host}:{self.port})"

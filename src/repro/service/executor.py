@@ -3,7 +3,8 @@
 :class:`~repro.service.MACService` talks to its compute tier through a
 small executor protocol — ``search_wire`` / ``explain_wire`` /
 ``telemetry_wire`` plus liveness introspection and the zero-downtime
-admin surface (``reload`` / ``resize`` / ``snapshot_wire``) — so the
+admin surface (``reload`` / ``resize`` / ``mutate_wire`` /
+``snapshot_wire``) — so the
 same server fronts either one shared engine on a thread pool (this
 module, the default) or a multi-process worker tier
 (:class:`repro.pool.PoolExecutor`, ``repro serve --worker-processes N``).
@@ -68,12 +69,25 @@ class EngineExecutor:
                 return None
         return self._fingerprint
 
+    def mutate_wire(self, mutations: list) -> dict:
+        """Apply one live mutation batch to the engine, in place.
+
+        The threads tier has a single shared engine, so one
+        :meth:`~repro.engine.MACEngine.apply` call mutates what every
+        slot serves.  The cached dataset fingerprint is dropped — the
+        network content just changed — and recomputed lazily.
+        """
+        summary = self.engine.apply(mutations)
+        self._fingerprint = None
+        return summary
+
     def snapshot_wire(self) -> dict:
         return {
             "fingerprint": self.fingerprint(),
             "generation": self._generation,
             "source": self._source,
             "index_digest": self._index_digest,
+            "delta_seq": getattr(self.engine, "delta_seq", 0),
         }
 
     def workers_wire(self) -> dict:

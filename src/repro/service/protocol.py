@@ -34,7 +34,10 @@ from repro.geometry.region import PreferenceRegion
 #: v2: anytime/partial results (result ``partial`` + ``progress``,
 #: per-community partial flags, plan ``search_backend``/``frontier``,
 #: telemetry ``partial_results``).
-PROTOCOL_VERSION = 2
+#: v3: live mutations (``POST /v1/admin/mutate``, snapshot
+#: ``delta_seq``, telemetry ``mutations`` / ``mutations_by_kind`` /
+#: ``cache_evicted_by_mutation``).
+PROTOCOL_VERSION = 3
 
 #: Default TCP port of ``repro serve``.
 DEFAULT_PORT = 8321
@@ -365,6 +368,9 @@ def telemetry_to_wire(tel) -> dict:
         "cache_hits": tel.hits,
         "cache_misses": tel.misses,
         "partial_results": tel.partial_results,
+        "mutations": tel.mutations,
+        "mutations_by_kind": dict(tel.mutations_by_kind),
+        "cache_evicted_by_mutation": tel.cache_evicted_by_mutation,
         "caches": caches,
         "stage_seconds": dict(tel.stage_seconds),
     }
@@ -406,6 +412,14 @@ def telemetry_from_wire(obj) -> EngineTelemetry:
             },
             deadline_exceeded=int(obj.get("deadline_exceeded", 0)),
             partial_results=int(obj.get("partial_results", 0)),
+            mutations=int(obj.get("mutations", 0)),
+            mutations_by_kind={
+                str(k): int(v)
+                for k, v in dict(obj.get("mutations_by_kind", {})).items()
+            },
+            cache_evicted_by_mutation=int(
+                obj.get("cache_evicted_by_mutation", 0)
+            ),
         )
     except (TypeError, ValueError) as exc:
         raise ServiceError(f"malformed telemetry payload: {exc}") from exc

@@ -28,6 +28,10 @@ Endpoints (all bodies JSON):
                           (zero-downtime; 409 typed rollback on failure)
 ``POST /v1/admin/resize`` ``{"workers": n}`` -> grow/shrink the worker
                           fleet with graceful drain
+``POST /v1/admin/mutate`` ``{"mutations": [...]}`` -> apply one live
+                          mutation batch fleet-wide (400 typed
+                          ``MutationError`` on a rejected batch, 409
+                          when racing another admin operation)
 ========================  =============================================
 
 **Zero-downtime operations.**  The admin endpoints (and ``SIGHUP`` when
@@ -313,6 +317,8 @@ class MACService:
         self._requests_total = 0
         self._reloads = 0
         self._resizes = 0
+        self._mutations = 0
+        self._deltas_logged = 0
         self._admin_tasks: set[asyncio.Task] = set()
         self._latency_ewma = 0.1  # seconds; seeds the Retry-After estimate
         # Degradation state.  ``_mode`` transitions happen only on the
@@ -614,6 +620,7 @@ class MACService:
             "/v1/metrics": ("GET", self._handle_metrics),
             "/v1/admin/reload": ("POST", self._handle_admin_reload),
             "/v1/admin/resize": ("POST", self._handle_admin_resize),
+            "/v1/admin/mutate": ("POST", self._handle_admin_mutate),
         }
         route = routes.get(path)
         if route is None:
@@ -985,6 +992,51 @@ class MACService:
         self._resizes += 1
         return {"ok": True, "resize": summary}
 
+    async def _handle_admin_mutate(self, obj) -> dict:
+        """Apply one live mutation batch (``POST /v1/admin/mutate``).
+
+        The batch is all-or-nothing: validation failure is a typed
+        :class:`~repro.errors.MutationError` (400) with nothing applied;
+        racing another admin operation in pool mode is a typed
+        :class:`~repro.errors.ReloadError` (409).  On success, when the
+        server was booted with ``--snapshot``, the batch is appended to
+        that snapshot's delta log so a restart (or a reload of the same
+        path) fast-forwards to the mutated state instead of reviving the
+        stale base.  A mutation that applied but failed to log still
+        answers 200 — the fleet *is* mutated — with ``logged: false``.
+        """
+        if not isinstance(obj, dict) or not isinstance(
+            obj.get("mutations"), list
+        ):
+            raise QueryError('mutate body must be {"mutations": [...]}')
+        mutations = obj["mutations"]
+        if not mutations:
+            raise QueryError("mutate field 'mutations' must be non-empty")
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(
+            None, self.executor.mutate_wire, mutations
+        )
+        self._mutations += 1
+        if self.snapshot_path is not None:
+            from repro.store.snapshot import append_delta
+
+            try:
+                await loop.run_in_executor(
+                    None, append_delta, self.snapshot_path, mutations
+                )
+                self._deltas_logged += 1
+                summary["logged"] = True
+            except Exception as exc:
+                print(
+                    f"serve: mutation applied but delta log append to "
+                    f"{self.snapshot_path} failed: {exc}",
+                    file=sys.stderr, flush=True,
+                )
+                summary["logged"] = False
+        else:
+            summary["logged"] = False
+        return {"ok": True, "mutate": summary}
+
     async def _handle_healthz(self, _obj) -> dict:
         # Built off the loop: a remote executor polls worker pipes for
         # telemetry, and even the in-process fingerprint hashes the
@@ -1039,6 +1091,8 @@ class MACService:
                 "requests_total": self._requests_total,
                 "reloads": self._reloads,
                 "resizes": self._resizes,
+                "mutations": self._mutations,
+                "deltas_logged": self._deltas_logged,
                 "drain_timeout": self.drain_timeout,
                 "latency_ewma_s": self._latency_ewma,
             },

@@ -92,6 +92,18 @@ class SocialNetwork:
         except KeyError:
             raise GraphError(f"user {v!r} not in network") from None
 
+    def set_attributes(self, v: int, x) -> None:
+        """Replace ``v``'s attribute vector (dimensionality-checked)."""
+        if v not in self.attributes:
+            raise GraphError(f"user {v!r} not in network")
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self._dim,):
+            raise GraphError(
+                f"user {v!r} attributes must have shape ({self._dim},), "
+                f"got {arr.shape}"
+            )
+        self.attributes[v] = arr
+
     def attributes_for(self, users: Iterable[int]) -> dict[int, np.ndarray]:
         return {v: self.attribute(v) for v in users}
 

@@ -155,6 +155,11 @@ class RoadSocialNetwork:
         """Whether the G-tree has been built (never triggers a build)."""
         return self._gtree is not None
 
+    def drop_gtree(self) -> None:
+        """Discard the cached G-tree (road weights changed; rebuild lazily)."""
+        with self._gtree_lock:
+            self._gtree = None
+
     # ------------------------------------------------------------------
     def query_distance_filter(
         self,

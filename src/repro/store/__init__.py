@@ -20,8 +20,11 @@ snapshots & warm start") and ``python -m repro.cli index --help``.
 
 from repro.store.fingerprint import network_fingerprint
 from repro.store.snapshot import (
+    DELTA_VERSION,
     FORMAT_VERSION,
+    append_delta,
     load_snapshot,
+    read_deltas,
     read_manifest,
     save_snapshot,
     snapshot_digest,
@@ -30,9 +33,12 @@ from repro.store.snapshot import (
 )
 
 __all__ = [
+    "DELTA_VERSION",
     "FORMAT_VERSION",
+    "append_delta",
     "load_snapshot",
     "network_fingerprint",
+    "read_deltas",
     "read_manifest",
     "save_snapshot",
     "snapshot_digest",

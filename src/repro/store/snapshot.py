@@ -13,12 +13,25 @@ Format (one snapshot = one directory)::
       manifest.json   format version, dataset fingerprint, backend,
                       engine configuration, per-entry keys + metadata
       arrays.npz      every numeric payload, keyed ``<component>.<field>``
+      deltas.jsonl    optional append-only mutation log (one batch per
+                      line); replayed by :func:`load_snapshot` to
+                      fast-forward the base snapshot
 
 The manifest is the source of truth for *what* is in the snapshot; the
 ``.npz`` holds only arrays.  Loads are strict: a missing file, corrupted
 archive, unknown format version, or fingerprint mismatch against the
 supplied network raises :class:`~repro.errors.SnapshotError` — a stale
 snapshot must never silently answer for a different network.
+
+The delta log makes small live mutations durable without re-saving the
+whole snapshot: :func:`append_delta` appends one
+:mod:`repro.live` batch (wire form) per line, and
+:func:`load_snapshot` replays the log through
+:meth:`~repro.engine.MACEngine.apply` after restoring the base arrays.
+The manifest ``fingerprint`` always describes the *base* network; the
+fingerprint check runs before replay, so the network handed to
+``load_snapshot`` must match the snapshot's build-time state and is
+then mutated forward batch by batch.
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ import numpy as np
 
 from repro import __version__ as _repro_version
 from repro.dominance.graph import DominanceGraph
-from repro.errors import SnapshotError
+from repro.errors import ReproError, SnapshotError
 from repro.geometry.region import PreferenceRegion
 from repro.graph.adjacency import AdjacencyGraph
 from repro.kernels.flatgraph import FlatGraph
@@ -50,6 +63,10 @@ FORMAT_NAME = "repro-index-snapshot"
 
 MANIFEST_FILE = "manifest.json"
 ARRAYS_FILE = "arrays.npz"
+DELTAS_FILE = "deltas.jsonl"
+
+#: Bump on any incompatible change to the delta-log record layout.
+DELTA_VERSION = 1
 
 _CORRUPTION_ERRORS = (
     zipfile.BadZipFile,
@@ -357,6 +374,87 @@ def snapshot_digest(path) -> str:
     return hashlib.sha256((path / MANIFEST_FILE).read_bytes()).hexdigest()
 
 
+# ----------------------------------------------------------------------
+# delta log
+# ----------------------------------------------------------------------
+def read_deltas(path) -> list[dict]:
+    """Parse a snapshot's delta log into a list of batch records.
+
+    Each record is ``{"delta_version": 1, "seq": n, "mutations": [...]}``
+    with ``seq`` running 1..N without gaps — the sequence number of the
+    batch doubles as the engine ``delta_seq`` after replaying it.  A
+    missing log is an empty list (every base snapshot starts at depth
+    0); a malformed line, version mismatch, or sequence gap raises
+    :class:`SnapshotError` — a half-understood log must never be
+    half-replayed.
+    """
+    path = Path(path)
+    log = path / DELTAS_FILE
+    if not log.is_file():
+        return []
+    try:
+        lines = log.read_text().splitlines()
+    except OSError as exc:
+        raise SnapshotError(f"unreadable delta log {log}: {exc}") from exc
+    batches: list[dict] = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"corrupted delta log {log} line {lineno}: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise SnapshotError(
+                f"delta log {log} line {lineno} is not a batch record"
+            )
+        version = record.get("delta_version")
+        if version != DELTA_VERSION:
+            raise SnapshotError(
+                f"delta log {log} line {lineno} has version {version!r} "
+                f"(this build reads version {DELTA_VERSION})"
+            )
+        mutations = record.get("mutations")
+        if not isinstance(mutations, list) or not mutations:
+            raise SnapshotError(
+                f"delta log {log} line {lineno} has no mutations"
+            )
+        expected = len(batches) + 1
+        if record.get("seq") != expected:
+            raise SnapshotError(
+                f"delta log {log} line {lineno}: expected seq {expected}, "
+                f"got {record.get('seq')!r} (the log is append-only and "
+                f"gap-free)"
+            )
+        batches.append(record)
+    return batches
+
+
+def append_delta(path, mutations) -> int:
+    """Append one mutation batch to a snapshot's delta log.
+
+    ``mutations`` is a :mod:`repro.live` batch (typed mutations or wire
+    dicts); it is normalized to wire form before writing, so a log line
+    is always replayable without the originating process.  Returns the
+    batch's sequence number (= the delta depth after the append).  The
+    caller is responsible for only appending batches that actually
+    applied cleanly to the snapshot's engine — the log records history,
+    it does not validate against a network.
+    """
+    from repro.live.mutations import mutation_to_wire, normalize_batch
+
+    path = Path(path)
+    read_manifest(path)  # only ever log against a real snapshot
+    wire = [mutation_to_wire(m) for m in normalize_batch(mutations)]
+    seq = len(read_deltas(path)) + 1
+    record = {"delta_version": DELTA_VERSION, "seq": seq, "mutations": wire}
+    with open(path / DELTAS_FILE, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return seq
+
+
 class _MmapArchive:
     """Read-only ``.npz`` view that memory-maps uncompressed members.
 
@@ -516,6 +614,14 @@ def load_snapshot(path, network: RoadSocialNetwork, *, mmap=False, **overrides):
     restored from the manifest; ``overrides`` (any ``MACEngine``
     keyword) win over the recorded values.
 
+    If the snapshot carries a delta log (``deltas.jsonl``, see
+    :func:`append_delta`), every logged batch is replayed through
+    :meth:`~repro.engine.MACEngine.apply` after the base restore: the
+    network is fast-forwarded in place and the engine comes back with
+    ``delta_seq`` equal to the log depth.  A batch that no longer
+    applies cleanly raises :class:`SnapshotError` naming the failing
+    sequence number.
+
     After the restore every snapshotted pipeline stage is a cache hit:
     the first query builds no filter, core, or dominance state, which
     ``telemetry().stage_seconds`` and the per-result ``timings`` report
@@ -652,6 +758,14 @@ def load_snapshot(path, network: RoadSocialNetwork, *, mmap=False, **overrides):
             )
             engine._gd_cache.put(key, gd)
 
+    for batch in read_deltas(path):
+        try:
+            engine.apply(batch["mutations"])
+        except ReproError as exc:
+            raise SnapshotError(
+                f"snapshot {path} delta replay failed at seq "
+                f"{batch['seq']}: {exc}"
+            ) from exc
     return engine
 
 
@@ -663,7 +777,7 @@ def snapshot_info(path) -> dict:
     path = Path(path)
     manifest = read_manifest(path)
     files = {}
-    for name in (MANIFEST_FILE, ARRAYS_FILE):
+    for name in (MANIFEST_FILE, ARRAYS_FILE, DELTAS_FILE):
         f = path / name
         if f.is_file():
             files[name] = f.stat().st_size
@@ -679,6 +793,7 @@ def snapshot_info(path) -> dict:
         },
         "has_gtree": "gtree" in comp,
         "has_road_flat": "road_flat" in comp,
+        "delta_depth": len(read_deltas(path)),
     }
 
 

@@ -106,6 +106,7 @@ class TestLiveSwap:
                 "generation": 1,
                 "source": "swap-test",
                 "index_digest": "b2",
+                "delta_seq": 0,
             }
             assert all(
                 w["generation"] == 1 for w in pool.workers_wire()["workers"]

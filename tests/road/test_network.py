@@ -92,3 +92,43 @@ class TestRoadNetwork:
             2 * road.num_edges / 15
         )
         assert road.max_degree() >= 3
+
+
+class TestFlatWeightPatch:
+    """Weight-only edge updates patch the cached CSR view in place."""
+
+    def make(self) -> RoadNetwork:
+        r = RoadNetwork()
+        r.add_edge(1, 2, 3.0)
+        r.add_edge(2, 3, 4.0)
+        r.add_edge(1, 3, 5.0)
+        return r
+
+    def test_weight_update_keeps_the_cached_view(self):
+        r = self.make()
+        fg = r.flat()
+        r.add_edge(1, 2, 9.0)  # existing edge: weight-only
+        assert r.flat() is fg  # the CSR view was patched, not rebuilt
+        ru, rv = fg.row_of(1), fg.row_of(2)
+        s, e = fg.indptr[ru], fg.indptr[ru + 1]
+        assert fg.weights[s:e][fg.indices[s:e] == rv] == 9.0
+        s, e = fg.indptr[rv], fg.indptr[rv + 1]
+        assert fg.weights[s:e][fg.indices[s:e] == ru] == 9.0
+        assert r.weight(1, 2) == 9.0
+
+    def test_new_edge_still_invalidates(self):
+        r = self.make()
+        fg = r.flat()
+        r.add_edge(3, 4, 1.0)  # topology change: CSR must rebuild
+        assert r.flat() is not fg
+        assert r.flat().n == 4
+
+    def test_readonly_weights_are_copied_not_mutated(self):
+        r = self.make()
+        fg = r.flat()
+        original = fg.weights
+        original.flags.writeable = False
+        r.add_edge(1, 2, 9.0)
+        assert r.flat() is fg
+        assert fg.weights is not original  # copy-on-write for mmap views
+        assert original.flags.writeable is False

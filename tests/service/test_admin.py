@@ -87,6 +87,7 @@ class TestPoolAdmin:
             "generation": 1,
             "source": snapshot,
             "index_digest": summary["index_digest"],
+            "delta_seq": 0,
         }
         assert all(
             w["generation"] == 1

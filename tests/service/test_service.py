@@ -72,7 +72,7 @@ class TestEndpoints:
     def test_healthz(self, client):
         health = client.healthz()
         assert health["status"] == "ok"
-        assert health["protocol_version"] == 2
+        assert health["protocol_version"] == 3
         assert health["admission"]["capacity"] == 2
 
     def test_search_matches_in_process_engine(self, client):
